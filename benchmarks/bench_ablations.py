@@ -1,0 +1,22 @@
+"""Ablations of the framework's design choices (DESIGN.md §5).
+
+Not a paper figure — these quantify the optimizations the paper implements
+but does not ablate individually: reduction localization, GPU stream
+count, dynamic chunk granularity, and adaptive device partitioning.
+"""
+
+from __future__ import annotations
+
+from repro.metrics import figures, format_table
+
+
+def test_ablations(benchmark, scale, report):
+    rows = benchmark.pedantic(figures.ablations, args=(scale,), rounds=1, iterations=1)
+    table = format_table(rows, title=f"Design ablations [{scale}]")
+    report("ablations", table)
+
+    by = {(r["ablation"], r["setting"]): r["time_s"] for r in rows}
+    assert by[("reduction-localization", "on")] < by[("reduction-localization", "off")], (
+        "shared-memory localization must pay off for a 40-key reduction"
+    )
+    assert by[("adaptive-partitioning", "on")] <= by[("adaptive-partitioning", "off(static-even)")] * 1.01

@@ -1,0 +1,32 @@
+"""Fig. 5 — intra-node and inter-node scalability of all five applications.
+
+Regenerates, per application: speedup over one CPU core for every device
+mix (CPU, 1 GPU, 2 GPU, CPU+1GPU, CPU+2GPU) and node count, plus the
+hand-written MPI comparator rows, plus the §IV-C summary (framework/MPI
+ratio, 12->384-core scaling, best overall speedup).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.metrics import figures, format_table
+
+
+@pytest.mark.parametrize("app", ["kmeans", "moldyn", "minimd", "sobel", "heat3d"])
+def test_fig5_app_scalability(benchmark, scale, report, app):
+    rows = benchmark.pedantic(
+        figures.fig5_scalability, args=(scale, [app]), rounds=1, iterations=1
+    )
+    table = format_table(
+        rows,
+        columns=["app", "nodes", "mix", "speedup", "makespan_s"],
+        title=f"Fig. 5 ({app}): speedup over 1 CPU core [{scale}]",
+    )
+    summary = format_table(
+        figures.fig5_summary(rows),
+        title=f"S IV-C summary ({app})",
+    )
+    report(f"fig5_{app}", table + "\n\n" + summary)
+    best = max(r["speedup"] for r in rows)
+    assert best > 1.0, "parallel execution must beat one core"

@@ -1,0 +1,19 @@
+"""Fig. 8 — single-GPU framework vs hand-written CUDA benchmarks.
+
+Paper: framework Kmeans is 6% slower than the Rodinia kernel (10 M points);
+framework Sobel is 15% slower than the texture-memory SDK kernel (8192^2).
+"""
+
+from __future__ import annotations
+
+from repro.metrics import figures, format_table
+
+
+def test_fig8_gpu_baselines(benchmark, scale, report):
+    rows = benchmark.pedantic(figures.fig8_gpu_baselines, args=(scale,), rounds=1, iterations=1)
+    table = format_table(rows, title=f"Fig. 8: framework vs hand-written CUDA [{scale}]")
+    report("fig8_gpu_baselines", table)
+    for r in rows:
+        assert 1.0 <= r["fw_over_cuda"] < 1.35, (
+            f"framework should be modestly slower than hand-tuned CUDA: {r}"
+        )

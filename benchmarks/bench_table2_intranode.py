@@ -1,0 +1,26 @@
+"""Table II — perfect vs. actual intra-node speedups (CPU+1GPU, CPU+2GPU).
+
+The *perfect* columns assume no scheduling/synchronization/communication
+overheads (1 + n_gpus * gpu_ratio); the *actual* columns come from the
+simulated heterogeneous execution.  Paper: actuals average ~89% (CPU+1GPU)
+and ~88% (CPU+2GPU) of perfect.
+"""
+
+from __future__ import annotations
+
+from repro.metrics import figures, format_table
+
+
+def test_table2_intranode(benchmark, scale, report):
+    rows = benchmark.pedantic(figures.table2_intranode, args=(scale,), rounds=1, iterations=1)
+    table = format_table(rows, title=f"Table II: perfect vs actual intra-node speedup [{scale}]")
+    efficiency_1 = [r["actual_1gpu"] / r["perfect_1gpu"] for r in rows]
+    efficiency_2 = [r["actual_2gpu"] / r["perfect_2gpu"] for r in rows]
+    summary = (
+        f"mean actual/perfect: CPU+1GPU {sum(efficiency_1)/len(efficiency_1):.2%} "
+        f"(paper ~89%), CPU+2GPU {sum(efficiency_2)/len(efficiency_2):.2%} (paper ~88%)"
+    )
+    report("table2_intranode", table + "\n" + summary)
+    for r in rows:
+        assert r["actual_1gpu"] <= r["perfect_1gpu"] * 1.02, r
+        assert r["actual_2gpu"] <= r["perfect_2gpu"] * 1.02, r

@@ -1,0 +1,26 @@
+"""Extension (paper's future work): Heat3D on an Intel Xeon Phi cluster.
+
+The paper's conclusion names "clusters involving Intel MIC coprocessors"
+as future work; the simulator treats a Knights Corner card as another
+PCIe offload accelerator, so every runtime works unchanged — this script
+compares CPU-only, 2xM2070, and 1xPhi node configurations on Heat3D.
+
+Usage:  python examples/xeon_phi_extension.py
+"""
+
+from repro.apps import heat3d
+from repro.cluster import ohio_cluster
+from repro.cluster.mic import mic_cluster
+
+CFG = heat3d.Heat3DConfig(functional_shape=(40, 40, 40), simulated_steps=3)
+NODES = 4
+
+if __name__ == "__main__":
+    rows = [
+        ("CPU only (12 cores)", heat3d.run(ohio_cluster(NODES), CFG, mix="cpu")),
+        ("CPU + 2x M2070", heat3d.run(ohio_cluster(NODES), CFG, mix="cpu+2gpu")),
+        ("CPU + 1x Xeon Phi", heat3d.run(mic_cluster(NODES), CFG, mix="cpu+1gpu")),
+    ]
+    print(f"Heat3D ({CFG.shape[0]}^3 modeled, {NODES} nodes, {CFG.iterations} iterations):")
+    for label, run in rows:
+        print(f"  {label:22s} makespan={run.makespan:8.3f} s   speedup={run.speedup:7.1f}x")

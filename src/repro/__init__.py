@@ -1,0 +1,33 @@
+"""repro — pattern specification & optimizations framework for heterogeneous clusters.
+
+A full Python reproduction of Chen, Huo & Agrawal, *"A Pattern
+Specification and Optimizations Framework for Accelerating Scientific
+Computations on Heterogeneous Clusters"* (IPDPS 2015): the three pattern
+runtimes (generalized reductions, irregular reductions, stencils), the
+simulated CPU-GPU cluster substrate they run on, the paper's five
+evaluation applications with their hand-written MPI/CUDA baselines, and a
+benchmark harness regenerating every table and figure.
+
+Package map (see DESIGN.md for the full inventory):
+
+- :mod:`repro.core`    — the framework: runtimes, reduction objects, scheduling
+- :mod:`repro.comm`    — MPI-like message passing with virtual-time costs
+- :mod:`repro.sim`     — SPMD engine, virtual clocks, timelines, tracing
+- :mod:`repro.device`  — CPU/GPU execution + roofline cost models
+- :mod:`repro.cluster` — hardware specs (incl. the paper's 32-node platform)
+- :mod:`repro.apps`    — Kmeans, Moldyn, MiniMD, Sobel, Heat3D (+ baselines)
+- :mod:`repro.data`    — synthetic workload generators
+- :mod:`repro.metrics` — experiment drivers for every paper table/figure
+
+Quickstart::
+
+    from repro.cluster import ohio_cluster
+    from repro.apps import kmeans
+
+    run = kmeans.run(ohio_cluster(4), mix="cpu+2gpu")
+    print(run.speedup)
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,98 @@
+"""Shared application plumbing: results, sequential-time modeling, helpers."""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Any
+
+from repro.cluster.specs import CPUSpec, ClusterSpec, NodeSpec
+from repro.device.cpu import CPUDevice
+from repro.device.work import WorkModel
+from repro.util.errors import ValidationError
+
+
+@dataclass(frozen=True)
+class AppRun:
+    """Outcome of one application execution on a simulated cluster."""
+
+    app: str
+    mix: str
+    nodes: int
+    makespan: float
+    seq_time: float
+    result: Any = None
+
+    @property
+    def speedup(self) -> float:
+        """Speedup over the modeled sequential single-core execution —
+        the paper's Figure 5 y-axis."""
+        if self.makespan <= 0:
+            raise ValidationError("makespan must be > 0 to compute a speedup")
+        return self.seq_time / self.makespan
+
+
+def single_core_spec(cpu: CPUSpec) -> CPUSpec:
+    """A one-core view of a CPU for sequential baselines and per-core MPI ranks.
+
+    The lone core keeps its compute rate and its 1/cores share of the node
+    memory bandwidth and cache — consistent with how the multi-core model
+    accounts per-core resources, so "12 x one-core ranks" and "one 12-core
+    process" have identical aggregate capability and differ only in
+    software structure (message counts, combine trees, overlap), which is
+    exactly the comparison the paper's §IV-C makes.
+    """
+    return dataclasses.replace(
+        cpu,
+        cores=1,
+        mem_bandwidth=cpu.mem_bandwidth / cpu.cores,
+        cache_bytes=cpu.cache_bytes / cpu.cores,
+    )
+
+
+def sequential_elem_time(work: WorkModel, node: NodeSpec, *, framework: bool = False) -> float:
+    """Modeled per-element time of a hand-written sequential (1-core) loop."""
+    dev = CPUDevice(single_core_spec(node.cpu))
+    return dev.core_elem_time(work, localized=True, framework=framework)
+
+
+def sequential_time(work: WorkModel, n_elems: float, node: NodeSpec, iterations: int = 1) -> float:
+    """Modeled sequential single-core time for ``iterations`` passes."""
+    if n_elems <= 0 or iterations < 1:
+        raise ValidationError("n_elems must be > 0 and iterations >= 1")
+    return iterations * n_elems * sequential_elem_time(work, node)
+
+
+def extrapolate_steps(step_times: list[float], total_iterations: int) -> float:
+    """Total time for ``total_iterations`` from a few measured steps.
+
+    Early simulated steps include one-time costs (setup exchange, the even
+    split before the adaptive repartition, the repartition's data
+    movement); the *last* measured step is steady state.  The estimate is
+    the measured prefix plus the steady rate for the remainder::
+
+        sum(measured) + last * (total - len(measured))
+
+    >>> extrapolate_steps([3.0, 2.0, 1.0], 10)
+    13.0
+    """
+    if not step_times:
+        raise ValidationError("need at least one measured step")
+    if total_iterations < len(step_times):
+        raise ValidationError(
+            f"total_iterations ({total_iterations}) below measured steps ({len(step_times)})"
+        )
+    return sum(step_times) + step_times[-1] * (total_iterations - len(step_times))
+
+
+def check_functional_scale(functional: int, model: int, name: str) -> None:
+    """Guard that a config's functional size does not exceed its model size."""
+    if functional > model:
+        raise ValidationError(
+            f"{name}: functional size {functional} exceeds modeled size {model}"
+        )
+
+
+def cluster_with_nodes(cluster: ClusterSpec, nodes: int) -> ClusterSpec:
+    """Convenience passthrough to :meth:`ClusterSpec.with_nodes`."""
+    return cluster.with_nodes(nodes)

@@ -1,0 +1,145 @@
+"""Command-line interface: run apps and regenerate experiments.
+
+Examples::
+
+    python -m repro info
+    python -m repro run kmeans --nodes 4 --mix cpu+2gpu
+    python -m repro run heat3d --nodes 8 --mix cpu --no-overlap
+    python -m repro figure table2 --scale quick
+    python -m repro codesize
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable
+
+from repro import __version__
+from repro.apps import heat3d, kmeans, minimd, moldyn, sobel
+from repro.cluster.presets import ohio_cluster
+from repro.core.env import DEVICE_MIXES
+from repro.metrics import fig5_chart, figures, format_table
+from repro.util.units import fmt_seconds
+
+_APPS: dict[str, Callable] = {
+    "kmeans": kmeans.run,
+    "moldyn": moldyn.run,
+    "minimd": minimd.run,
+    "sobel": sobel.run,
+    "heat3d": heat3d.run,
+}
+
+_FIGURES = {
+    "fig5": lambda scale: _fig5_text(scale),
+    "fig6": lambda scale: format_table(figures.fig6_code_sizes(), title="Fig. 6"),
+    "table2": lambda scale: format_table(
+        figures.table2_intranode(scale), title=f"Table II [{scale}]"
+    ),
+    "fig7": lambda scale: format_table(
+        figures.fig7_optimizations(scale), title=f"Fig. 7 [{scale}]"
+    ),
+    "fig8": lambda scale: format_table(
+        figures.fig8_gpu_baselines(scale), title=f"Fig. 8 [{scale}]"
+    ),
+    "ablations": lambda scale: format_table(
+        figures.ablations(scale), title=f"Ablations [{scale}]"
+    ),
+}
+
+
+def _fig5_text(scale: str) -> str:
+    rows = figures.fig5_scalability(scale)
+    parts = []
+    if len({r["nodes"] for r in rows}) > 1:
+        for app in sorted({r["app"] for r in rows}):
+            parts.append(fig5_chart(rows, app))
+    parts.append(
+        format_table(
+            rows,
+            columns=["app", "nodes", "mix", "speedup", "makespan_s"],
+            title=f"Fig. 5 [{scale}]",
+        )
+    )
+    return "\n\n".join(parts)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Pattern framework for heterogeneous clusters (IPDPS'15 reproduction)",
+    )
+    parser.add_argument("--version", action="version", version=f"repro {__version__}")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("info", help="describe the simulated platform")
+
+    run_p = sub.add_parser("run", help="run one application on the simulated cluster")
+    run_p.add_argument("app", choices=sorted(_APPS))
+    run_p.add_argument("--nodes", type=int, default=4, help="cluster nodes (paper: 1..32)")
+    run_p.add_argument(
+        "--mix", choices=sorted(DEVICE_MIXES), default="cpu+2gpu", help="device mix per node"
+    )
+    run_p.add_argument(
+        "--no-overlap",
+        action="store_true",
+        help="disable communication/computation overlap (Moldyn/MiniMD/stencils)",
+    )
+
+    fig_p = sub.add_parser("figure", help="regenerate one paper table/figure")
+    fig_p.add_argument("which", choices=sorted(_FIGURES))
+    fig_p.add_argument("--scale", choices=["quick", "full"], default="quick")
+
+    sub.add_parser("codesize", help="print the Fig. 6 code-size comparison")
+    return parser
+
+
+def cmd_info() -> str:
+    cluster = ohio_cluster()
+    node = cluster.node
+    gpu = node.gpus[0]
+    lines = [
+        f"repro {__version__} — simulating the paper's evaluation platform:",
+        f"  nodes:   {cluster.num_nodes} ({cluster.total_cores} cores, "
+        f"{cluster.total_gpus} GPUs)",
+        f"  cpu:     {node.cpu.name}, {node.cpu.cores} cores, "
+        f"{node.cpu.total_flops / 1e9:.0f} GFLOP/s peak",
+        f"  gpu:     {gpu.name} x{node.num_gpus}, {gpu.flops / 1e9:.0f} GFLOP/s, "
+        f"{gpu.mem_bandwidth / 1e9:.0f} GB/s, {gpu.shared_mem_per_sm / 1024:.0f} KiB shared/SM",
+        f"  network: {cluster.network.name}, {cluster.network.latency * 1e6:.1f} us, "
+        f"{cluster.network.bandwidth / 1e9:.1f} GB/s",
+        f"  apps:    {', '.join(sorted(_APPS))}",
+        f"  mixes:   {', '.join(sorted(DEVICE_MIXES))}",
+    ]
+    return "\n".join(lines)
+
+
+def cmd_run(args: argparse.Namespace) -> str:
+    cluster = ohio_cluster(args.nodes)
+    kwargs = {}
+    if args.app in ("moldyn", "minimd", "sobel", "heat3d") and args.no_overlap:
+        kwargs["overlap"] = False
+    run = _APPS[args.app](cluster, mix=args.mix, **kwargs)
+    return (
+        f"{args.app} on {args.nodes} node(s), {args.mix}:\n"
+        f"  simulated time : {fmt_seconds(run.makespan)}\n"
+        f"  sequential time: {fmt_seconds(run.seq_time)} (modeled, 1 core)\n"
+        f"  speedup        : {run.speedup:.1f}x"
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "info":
+        print(cmd_info())
+    elif args.command == "run":
+        print(cmd_run(args))
+    elif args.command == "figure":
+        print(_FIGURES[args.which](args.scale))
+    elif args.command == "codesize":
+        print(format_table(figures.fig6_code_sizes(), title="Fig. 6 code sizes"))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,39 @@
+"""Hardware model: CPU/GPU/node/interconnect specifications.
+
+The specs are *descriptions* only — execution and timing live in
+:mod:`repro.device` and :mod:`repro.sim`.  The paper's evaluation platform
+(32 nodes, each a 12-core Xeon 5650 with two NVIDIA M2070 GPUs, InfiniBand)
+is available as :func:`repro.cluster.presets.ohio_cluster`.
+"""
+
+from repro.cluster.specs import (
+    CPUSpec,
+    GPUSpec,
+    InterconnectSpec,
+    NodeSpec,
+    ClusterSpec,
+)
+from repro.cluster.presets import (
+    ohio_cluster,
+    xeon_5650,
+    nvidia_m2070,
+    qdr_infiniband,
+    laptop_cluster,
+)
+from repro.cluster.topology import dims_create, coords_of, rank_of
+
+__all__ = [
+    "CPUSpec",
+    "GPUSpec",
+    "InterconnectSpec",
+    "NodeSpec",
+    "ClusterSpec",
+    "ohio_cluster",
+    "xeon_5650",
+    "nvidia_m2070",
+    "qdr_infiniband",
+    "laptop_cluster",
+    "dims_create",
+    "coords_of",
+    "rank_of",
+]

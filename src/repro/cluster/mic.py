@@ -1,0 +1,64 @@
+"""Intel MIC (Xeon Phi) coprocessor preset — the paper's stated future work.
+
+The paper closes with: *"Our future work is to extend our framework to
+cover more communication patterns, and exploiting other architectures such
+as clusters involving Intel MIC coprocessors."*  This module provides that
+extension for the simulator: a Knights Corner card is, from the runtime's
+perspective, another PCIe *offload accelerator* — data ships over PCIe, a
+wide-parallel kernel runs on it, results come back — so it slots into the
+same device class as a GPU with different rates:
+
+- much higher DP peak than the M2070 (~1 TFLOP/s vs 515 GFLOP/s),
+- higher memory bandwidth (GDDR5, ~320 GB/s),
+- large coherent L2 instead of per-SM scratchpads (reduction localization
+  maps to core-private L2 slices: a big "shared memory" and cheap cached
+  atomics, but a modest uncontended-vs-contended gap),
+- the same PCIe Gen2 link.
+
+Everything in :mod:`repro.core` works unchanged on MIC nodes; see
+``examples/xeon_phi_extension.py`` and ``tests/cluster/test_mic.py``.
+"""
+
+from __future__ import annotations
+
+from repro.cluster.presets import qdr_infiniband, xeon_5650
+from repro.cluster.specs import ClusterSpec, GPUSpec, NodeSpec
+from repro.util.units import GB, GFLOPS, KIB, US
+
+
+def xeon_phi_5110p() -> GPUSpec:
+    """Intel Xeon Phi 5110P (Knights Corner): 60 cores, 1.01 TFLOP/s DP.
+
+    Modeled with the offload-accelerator device class (see module
+    docstring); ``sms`` carries the core count and ``shared_mem_per_sm``
+    the per-core L2 slice used for reduction localization.
+    """
+    return GPUSpec(
+        name="Intel Xeon Phi 5110P",
+        sms=60,
+        flops=1011 * GFLOPS,
+        mem_bandwidth=320 * GB,
+        shared_mem_per_sm=512 * KIB,
+        device_mem=8 * GB,
+        pcie_bandwidth=8 * GB,
+        pcie_latency=12 * US,
+        kernel_launch_overhead=15 * US,  # offload-region spin-up
+        atomic_cost=40e-9,  # coherent-L2 contended atomic
+        shared_atomic_cost=8e-9,  # core-local cached atomic
+    )
+
+
+def mic_cluster(num_nodes: int = 8, mics_per_node: int = 1) -> ClusterSpec:
+    """A cluster of Xeon 5650 hosts with Xeon Phi coprocessors."""
+    phi = xeon_phi_5110p()
+    node = NodeSpec(
+        cpu=xeon_5650(),
+        gpus=tuple(phi for _ in range(mics_per_node)),
+        memory=47 * GB,
+    )
+    return ClusterSpec(
+        name=f"mic-{num_nodes}n-{mics_per_node}phi",
+        node=node,
+        num_nodes=num_nodes,
+        network=qdr_infiniband(),
+    )

@@ -1,0 +1,281 @@
+"""The per-rank communicator: point-to-point messaging with virtual time.
+
+One :class:`SimComm` is owned by each rank thread; all of them share a
+:class:`~repro.comm.fabric.Fabric`.  Virtual-time rules (LogGP):
+
+- ``send``/``isend``: the sender's clock advances by the link's
+  ``send_overhead``; the message's arrival time is
+  ``sender_now + latency + nbytes / bandwidth``.  Both calls are *buffered
+  eager* sends — they never block — matching MPI's behaviour for the
+  moderate message sizes this framework produces.
+- ``recv`` / ``Request.wait``: the receiver's clock jumps forward to
+  ``max(now, arrival_time)`` then advances by ``recv_overhead``.  Compute
+  performed between posting an ``irecv`` and waiting on it therefore hides
+  communication time — *overlap emerges from the clock rules*, it is never
+  a hard-coded discount.
+
+Collective operations live in :mod:`repro.comm.collectives` and are bound
+here as methods; they are built from these point-to-point primitives so
+their cost emerges from the same model.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.comm import collectives as _coll
+from repro.comm.constants import ANY_SOURCE, ANY_TAG, MAX_USER_TAG, PROC_NULL
+from repro.comm.fabric import Fabric, Message
+from repro.comm.payload import make_payload
+from repro.sim.clock import VirtualClock
+from repro.sim.trace import Trace
+from repro.util.errors import CommunicationError, ValidationError
+
+#: Wall-clock watchdog for a single blocking receive; a simulated program
+#: that keeps a rank waiting this long is considered deadlocked.
+DEFAULT_RECV_TIMEOUT = 120.0
+
+
+class Request:
+    """Base class for non-blocking operation handles."""
+
+    def wait(self) -> Any:
+        raise NotImplementedError
+
+    def test(self) -> bool:
+        """True if :meth:`wait` would not block (wall-clock sense)."""
+        raise NotImplementedError
+
+
+class SendRequest(Request):
+    """Handle for an ``isend``; complete at creation (buffered eager)."""
+
+    __slots__ = ()
+
+    def wait(self) -> None:
+        return None
+
+    def test(self) -> bool:
+        return True
+
+
+class RecvRequest(Request):
+    """Handle for an ``irecv``; matching is deferred until :meth:`wait`.
+
+    Deferring keeps matching deterministic in virtual time: the receiver's
+    clock only synchronizes with the message when the program actually
+    waits, which is exactly MPI's completion semantics.
+    """
+
+    __slots__ = ("_comm", "_source", "_tag", "_out", "_done", "_value")
+
+    def __init__(self, comm: "SimComm", source: int, tag: int, out: np.ndarray | None) -> None:
+        self._comm = comm
+        self._source = source
+        self._tag = tag
+        self._out = out
+        self._done = False
+        self._value: Any = None
+
+    def wait(self) -> Any:
+        if not self._done:
+            self._value = self._comm.recv(source=self._source, tag=self._tag, out=self._out)
+            self._done = True
+        return self._value
+
+    def test(self) -> bool:
+        if self._done:
+            return True
+        if self._source == PROC_NULL:
+            return True
+        return self._comm.fabric.probe(self._comm.rank, self._source, self._tag)
+
+
+class SimComm:
+    """MPI-like communicator bound to one rank's virtual clock."""
+
+    def __init__(
+        self,
+        fabric: Fabric,
+        rank: int,
+        clock: VirtualClock,
+        trace: Trace | None = None,
+        recv_timeout: float = DEFAULT_RECV_TIMEOUT,
+    ) -> None:
+        if not 0 <= rank < fabric.size:
+            raise ValidationError(f"rank {rank} out of range for fabric of size {fabric.size}")
+        self.fabric = fabric
+        self.rank = rank
+        self.clock = clock
+        self.trace = trace
+        self.recv_timeout = recv_timeout
+        self._coll_seq = 0
+
+    @property
+    def size(self) -> int:
+        return self.fabric.size
+
+    @property
+    def node_index(self) -> int:
+        """Index of the node hosting this rank."""
+        return self.fabric.node_of(self.rank)
+
+    # ------------------------------------------------------------------
+    # Point-to-point
+    # ------------------------------------------------------------------
+    def _check_peer(self, peer: int, what: str, allow_any: bool = False) -> None:
+        if peer == PROC_NULL:
+            return
+        if allow_any and peer == ANY_SOURCE:
+            return
+        if not 0 <= peer < self.size:
+            raise CommunicationError(f"{what} rank {peer} out of range (size {self.size})")
+
+    def _check_tag(self, tag: int, allow_any: bool) -> None:
+        if allow_any and tag == ANY_TAG:
+            return
+        if not 0 <= tag <= MAX_USER_TAG:
+            raise CommunicationError(f"tag {tag} out of range [0, {MAX_USER_TAG}]")
+
+    def send(
+        self,
+        obj: Any,
+        dest: int,
+        tag: int = 0,
+        _internal: bool = False,
+        wire_bytes: float | None = None,
+    ) -> None:
+        """Buffered eager send: snapshots ``obj`` and returns immediately.
+
+        The sender's virtual clock advances only by the link's software
+        send overhead; wire time is borne by the receiver's clock when the
+        message is consumed.
+
+        ``wire_bytes`` overrides the charged message size (benchmarks send
+        scaled-down functional payloads that stand for paper-scale data).
+        """
+        self._check_peer(dest, "destination")
+        if not _internal:
+            self._check_tag(tag, allow_any=False)
+        if dest == PROC_NULL:
+            return
+        if wire_bytes is not None and wire_bytes < 0:
+            raise CommunicationError(f"wire_bytes must be >= 0, got {wire_bytes}")
+        link = self.fabric.link(self.rank, dest)
+        start = self.clock.now
+        self.clock.advance(link.send_overhead)
+        payload = make_payload(obj)
+        charged = payload.nbytes if wire_bytes is None else wire_bytes
+        wire_start, wire_dur = self.fabric.inject(self.rank, self.clock.now, charged, link)
+        arrival = wire_start + link.latency + wire_dur
+        self.fabric.post(
+            Message(
+                src=self.rank,
+                dst=dest,
+                tag=tag,
+                payload=payload,
+                send_time=self.clock.now,
+                arrival_time=arrival,
+                wire_duration=wire_dur,
+            )
+        )
+        if self.trace is not None:
+            self.trace.record("comm", f"send->{dest}", start, arrival, tag=tag, nbytes=charged)
+
+    def isend(
+        self, obj: Any, dest: int, tag: int = 0, wire_bytes: float | None = None
+    ) -> SendRequest:
+        """Non-blocking send (identical cost to :meth:`send` in this model)."""
+        self.send(obj, dest, tag, wire_bytes=wire_bytes)
+        return SendRequest()
+
+    def recv(
+        self,
+        source: int = ANY_SOURCE,
+        tag: int = ANY_TAG,
+        out: np.ndarray | None = None,
+        _internal: bool = False,
+    ) -> Any:
+        """Blocking receive; returns the payload (or fills ``out``).
+
+        The receiver's clock synchronizes to the message arrival time, so
+        waiting for a late message costs exactly the gap, and a message
+        that already arrived costs only the receive overhead.
+        """
+        self._check_peer(source, "source", allow_any=True)
+        if not _internal:
+            self._check_tag(tag, allow_any=True)
+        if source == PROC_NULL:
+            return None
+        wait_start = self.clock.now
+        msg = self.fabric.match(self.rank, source, tag, timeout=self.recv_timeout)
+        link = self.fabric.link(msg.src, self.rank)
+        self.clock.advance_to(msg.arrival_time)
+        self.clock.advance(link.recv_overhead)
+        if self.trace is not None:
+            self.trace.record(
+                "comm",
+                f"recv<-{msg.src}",
+                wait_start,
+                self.clock.now,
+                tag=msg.tag,
+                nbytes=msg.nbytes,
+            )
+        return msg.payload.deliver(out)
+
+    def irecv(
+        self, source: int = ANY_SOURCE, tag: int = ANY_TAG, out: np.ndarray | None = None
+    ) -> RecvRequest:
+        """Non-blocking receive; completion (and clock sync) happens at wait."""
+        self._check_peer(source, "source", allow_any=True)
+        self._check_tag(tag, allow_any=True)
+        return RecvRequest(self, source, tag, out)
+
+    def sendrecv(
+        self,
+        obj: Any,
+        dest: int,
+        source: int,
+        sendtag: int = 0,
+        recvtag: int = ANY_TAG,
+        out: np.ndarray | None = None,
+        _internal: bool = False,
+    ) -> Any:
+        """Combined send+receive (deadlock-free pairwise exchange)."""
+        self.send(obj, dest, sendtag, _internal=_internal)
+        return self.recv(source=source, tag=recvtag, out=out, _internal=_internal)
+
+    @staticmethod
+    def waitall(requests: list[Request]) -> list[Any]:
+        """Wait on every request, returning their values in order."""
+        return [req.wait() for req in requests]
+
+    # ------------------------------------------------------------------
+    # Collectives (implementations in repro.comm.collectives)
+    # ------------------------------------------------------------------
+    def _next_coll_tag(self, op_id: int) -> int:
+        """A fresh internal tag for one collective invocation.
+
+        SPMD programs invoke collectives in the same order on every rank,
+        so the per-rank sequence numbers agree and tags match across ranks.
+        """
+        tag = _coll.collective_tag(self._coll_seq, op_id)
+        self._coll_seq += 1
+        return tag
+
+    barrier = _coll.barrier
+    bcast = _coll.bcast
+    reduce = _coll.reduce
+    allreduce = _coll.allreduce
+    gather = _coll.gather
+    allgather = _coll.allgather
+    scatter = _coll.scatter
+    alltoall = _coll.alltoall
+    scan = _coll.scan
+    exscan = _coll.exscan
+    reduce_scatter = _coll.reduce_scatter
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"SimComm(rank={self.rank}, size={self.size})"

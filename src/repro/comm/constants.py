@@ -1,0 +1,20 @@
+"""Wildcard and sentinel rank/tag values (MPI-compatible meanings)."""
+
+ANY_SOURCE = -1
+"""Match a message from any source rank."""
+
+ANY_TAG = -1
+"""Match a message with any tag."""
+
+PROC_NULL = -2
+"""A null peer: sends/recvs involving it complete immediately as no-ops.
+
+Returned by :meth:`repro.comm.cart.CartComm.shift` at non-periodic grid
+borders, exactly like ``MPI_PROC_NULL``.
+"""
+
+COLLECTIVE_TAG_BASE = 1 << 24
+"""Tags at or above this value are reserved for internal collectives."""
+
+MAX_USER_TAG = COLLECTIVE_TAG_BASE - 1
+"""Largest tag a user message may carry."""

@@ -1,0 +1,162 @@
+"""The shared in-process message fabric.
+
+One :class:`Fabric` is shared by all rank threads of an SPMD run.  It owns
+the mailboxes (one ordered queue per destination rank), performs tag/source
+matching with per-(source, tag) FIFO ordering, and knows which
+:class:`~repro.cluster.specs.InterconnectSpec` connects any two ranks
+(intra-node vs. network) given the rank→node mapping.
+
+Thread-safety: a single lock guards all queues; each destination rank has a
+condition variable so a blocked receiver wakes only for its own mail (or an
+abort).  Matching happens in *post order*, which yields MPI's
+non-overtaking guarantee between any (source, tag) pair.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from dataclasses import dataclass, field
+
+from repro.cluster.specs import ClusterSpec, InterconnectSpec
+from repro.comm.constants import ANY_SOURCE, ANY_TAG
+from repro.comm.payload import Payload
+from repro.sim.timeline import Timeline
+from repro.util.errors import CommunicationError, DeadlockError, ValidationError
+
+
+@dataclass(frozen=True)
+class Message:
+    """One message in flight (or delivered)."""
+
+    src: int
+    dst: int
+    tag: int
+    payload: Payload
+    send_time: float
+    arrival_time: float
+    wire_duration: float = 0.0
+    seq: int = field(compare=False, default=0)
+
+    @property
+    def nbytes(self) -> int:
+        return self.payload.nbytes
+
+
+class Fabric:
+    """Mailboxes + link model shared by every rank of one SPMD run."""
+
+    def __init__(self, cluster: ClusterSpec, ranks_per_node: int = 1) -> None:
+        if ranks_per_node <= 0:
+            raise ValidationError(f"ranks_per_node must be > 0, got {ranks_per_node}")
+        self.cluster = cluster
+        self.ranks_per_node = ranks_per_node
+        self.size = cluster.num_nodes * ranks_per_node
+        self._lock = threading.Lock()
+        self._cv = [threading.Condition(self._lock) for _ in range(self.size)]
+        self._queues: list[list[Message]] = [[] for _ in range(self.size)]
+        self._seq = itertools.count()
+        self._abort_exc: BaseException | None = None
+        # Per-rank NIC occupancy: a rank injects (egress) and absorbs
+        # (ingress) at most one message's bytes at a time, so fan-in/fan-out
+        # traffic serializes at the endpoints (LogGP's per-byte gap G).
+        self._egress = [Timeline(f"nic{r}.egress") for r in range(self.size)]
+        self._ingress = [Timeline(f"nic{r}.ingress") for r in range(self.size)]
+
+    def node_of(self, rank: int) -> int:
+        """Node index hosting ``rank`` (ranks are packed node-major)."""
+        if not 0 <= rank < self.size:
+            raise ValidationError(f"rank {rank} out of range for size {self.size}")
+        return rank // self.ranks_per_node
+
+    def link(self, src: int, dst: int) -> InterconnectSpec:
+        """The link class between two ranks."""
+        return self.cluster.link_between(self.node_of(src), self.node_of(dst))
+
+    def inject(self, src: int, ready: float, nbytes: float, link: InterconnectSpec) -> tuple[float, float]:
+        """Occupy the sender's egress NIC; returns (wire_start, wire_duration).
+
+        Called from the sender's own thread (its sends are program-ordered,
+        so egress scheduling stays deterministic).
+        """
+        wire = nbytes / link.bandwidth
+        with self._lock:
+            iv = self._egress[src].schedule(ready, wire, "msg")
+        return iv.start, wire
+
+    def post(self, msg: Message) -> None:
+        """Enqueue a message for its destination and wake its receiver."""
+        with self._lock:
+            if self._abort_exc is not None:
+                raise CommunicationError("fabric aborted") from self._abort_exc
+            object.__setattr__(msg, "seq", next(self._seq))
+            self._queues[msg.dst].append(msg)
+            self._cv[msg.dst].notify_all()
+
+    def match(
+        self,
+        dst: int,
+        source: int = ANY_SOURCE,
+        tag: int = ANY_TAG,
+        timeout: float | None = None,
+    ) -> Message:
+        """Block until a message for ``dst`` matching (source, tag) arrives.
+
+        Matching scans the destination queue in post order, so two messages
+        from the same source with the same tag are received in the order
+        they were sent (MPI non-overtaking).  ``timeout`` is a *wall-clock*
+        watchdog: exceeding it means the simulated program is deadlocked.
+        """
+        cv = self._cv[dst]
+        with self._lock:
+            while True:
+                if self._abort_exc is not None:
+                    raise CommunicationError("fabric aborted") from self._abort_exc
+                queue = self._queues[dst]
+                for i, msg in enumerate(queue):
+                    if source != ANY_SOURCE and msg.src != source:
+                        continue
+                    if tag != ANY_TAG and msg.tag != tag:
+                        continue
+                    del queue[i]
+                    # Absorb the bytes through the receiver's ingress NIC:
+                    # concurrent inbound streams serialize here.  Matching
+                    # order is the receiver's program order, so this stays
+                    # deterministic for specific-source receives.
+                    if msg.wire_duration > 0:
+                        iv = self._ingress[dst].schedule(
+                            msg.arrival_time - msg.wire_duration, msg.wire_duration, "msg"
+                        )
+                        object.__setattr__(msg, "arrival_time", iv.end)
+                    return msg
+                if not cv.wait(timeout=timeout):
+                    raise DeadlockError(
+                        f"rank {dst} waited {timeout}s (wall clock) for a message "
+                        f"from source={source} tag={tag}; simulated program is deadlocked"
+                    )
+
+    def probe(self, dst: int, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> bool:
+        """Non-blocking check whether a matching message is queued."""
+        with self._lock:
+            return any(
+                (source == ANY_SOURCE or m.src == source)
+                and (tag == ANY_TAG or m.tag == tag)
+                for m in self._queues[dst]
+            )
+
+    def pending_count(self, dst: int) -> int:
+        """Number of undelivered messages queued for ``dst`` (test hook)."""
+        with self._lock:
+            return len(self._queues[dst])
+
+    def abort(self, exc: BaseException) -> None:
+        """Poison the fabric: wake every blocked receiver with an error.
+
+        Called by the SPMD engine when one rank raises, so sibling ranks
+        blocked in ``recv`` fail fast instead of hanging until the watchdog.
+        """
+        with self._lock:
+            if self._abort_exc is None:
+                self._abort_exc = exc
+            for cv in self._cv:
+                cv.notify_all()

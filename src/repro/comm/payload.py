@@ -1,0 +1,65 @@
+"""Message payload normalization.
+
+Payloads are either NumPy arrays (the fast path, measured by ``nbytes``) or
+arbitrary picklable Python objects (control messages, measured by pickled
+size).  Both are snapshotted at send time so that — as with MPI's buffered
+eager protocol — the sender may immediately reuse or mutate its buffer.
+"""
+
+from __future__ import annotations
+
+import copy
+import pickle
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Payload:
+    """An immutable snapshot of data in flight."""
+
+    data: Any
+    nbytes: int
+    is_array: bool
+
+    def deliver(self, out: np.ndarray | None = None) -> Any:
+        """Materialize the payload at the receiver.
+
+        If ``out`` is given (array payloads only), the data is copied into
+        it — the mpi4py ``Recv([buf, ...])`` idiom — and ``out`` is
+        returned.  Otherwise a fresh object is returned; arrays are copied
+        so receivers can never alias in-flight state.
+        """
+        if out is not None:
+            if not self.is_array:
+                raise TypeError("cannot receive an object payload into an array buffer")
+            flat_out = out.reshape(-1)
+            flat_src = np.asarray(self.data).reshape(-1)
+            if flat_out.shape != flat_src.shape:
+                raise ValueError(
+                    f"receive buffer has {flat_out.size} elements, message has {flat_src.size}"
+                )
+            flat_out[:] = flat_src
+            return out
+        if self.is_array:
+            return np.array(self.data, copy=True)
+        return copy.deepcopy(self.data)
+
+
+def make_payload(obj: Any) -> Payload:
+    """Snapshot ``obj`` into a :class:`Payload`, computing its wire size."""
+    if isinstance(obj, np.ndarray):
+        snapshot = np.array(obj, copy=True)
+        snapshot.setflags(write=False)
+        return Payload(data=snapshot, nbytes=int(snapshot.nbytes), is_array=True)
+    if np.isscalar(obj) and not isinstance(obj, (str, bytes)):
+        return Payload(data=obj, nbytes=int(np.asarray(obj).nbytes), is_array=False)
+    # Generic object: deep-copy for isolation, pickle only to price the wire.
+    snapshot = copy.deepcopy(obj)
+    try:
+        nbytes = len(pickle.dumps(snapshot, protocol=pickle.HIGHEST_PROTOCOL))
+    except Exception:  # unpicklable but copyable: charge a nominal size
+        nbytes = 64
+    return Payload(data=snapshot, nbytes=nbytes, is_array=False)

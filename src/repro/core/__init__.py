@@ -1,0 +1,72 @@
+"""The pattern framework: the paper's primary contribution.
+
+Public surface (mirrors the paper's Listing 2 flow):
+
+.. code-block:: python
+
+    from repro.core import RuntimeEnv, DeviceConfig
+
+    def rank_program(ctx):
+        env = RuntimeEnv(ctx, DeviceConfig(use_cpu=True, num_gpus=2))
+        gr = env.get_GR()                 # generalized reductions
+        ir = env.get_IR()                 # irregular reductions
+        st = env.get_stencil()            # stencil computations
+        ...
+        env.finalize()
+
+Each runtime accepts the paper's user-defined functions (emit/reduce, edge
+compute/node reduce, stencil function) in *vectorized batch* form (the fast
+path) or classic per-element form via the adapters in
+:mod:`repro.core.api`.
+"""
+
+from repro.core.api import (
+    GRKernel,
+    IRKernel,
+    StencilKernel,
+    elementwise_emit,
+    elementwise_edge_compute,
+    elementwise_stencil,
+    shifted,
+    REDUCTION_OPS,
+)
+from repro.core.reduction_object import DenseReductionObject, HashReductionObject
+from repro.core.partition import (
+    block_partition,
+    owner_of,
+    classify_edges,
+    arrange_nodes,
+    NodeArrangement,
+)
+from repro.core.scheduler import ChunkScheduler, ScheduleReport
+from repro.core.adaptive import AdaptivePartitioner
+from repro.core.env import RuntimeEnv, DeviceConfig
+from repro.core.generalized import GeneralizedReductionRuntime
+from repro.core.irregular import IrregularReductionRuntime
+from repro.core.stencil import StencilRuntime
+
+__all__ = [
+    "GRKernel",
+    "IRKernel",
+    "StencilKernel",
+    "elementwise_emit",
+    "elementwise_edge_compute",
+    "elementwise_stencil",
+    "shifted",
+    "REDUCTION_OPS",
+    "DenseReductionObject",
+    "HashReductionObject",
+    "block_partition",
+    "owner_of",
+    "classify_edges",
+    "arrange_nodes",
+    "NodeArrangement",
+    "ChunkScheduler",
+    "ScheduleReport",
+    "AdaptivePartitioner",
+    "RuntimeEnv",
+    "DeviceConfig",
+    "GeneralizedReductionRuntime",
+    "IrregularReductionRuntime",
+    "StencilRuntime",
+]

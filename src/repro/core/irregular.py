@@ -1,0 +1,490 @@
+"""Irregular-reduction runtime (paper §II-A, §III-C/D/E).
+
+The computation space is the edge set; the reduction space is the node
+set.  Partitioning follows the paper exactly:
+
+- **Inter-process**: nodes are split into equal contiguous blocks; edges
+  with both endpoints local are *local edges*, edges crossing blocks are
+  *cross edges* and are assigned to both sides (each side updates only its
+  own endpoint).  Node storage uses the Fig. 3 arrangement — local nodes in
+  front, remote nodes grouped by owning process behind — built by
+  :func:`repro.core.partition.arrange_nodes`.
+- **Remote-node exchange**: steps 1–4 (counts + global ID lists) run once
+  per connectivity, steps 5–6 (node data) run whenever node data changed,
+  all as real messages.  With ``overlap=True`` (default) local edges are
+  computed concurrently with the step-5/6 exchange — the paper's
+  *overlapped execution* — and cross edges afterwards.
+- **Intra-process**: the local reduction space is split across devices by
+  the :class:`~repro.core.adaptive.AdaptivePartitioner` (even on the first
+  time step, speed-proportional from the second).  Each device further
+  relies on shared-memory-sized reduction partitions
+  (:func:`~repro.device.costmodel.shared_memory_partitions`) which make
+  its atomic updates cheap (``localized``).  Device results are
+  *concatenated*, never combined — the reduction space is disjoint.
+
+Functional honesty: remote node slots are filled **only** by the exchange
+protocol; if the protocol were wrong, results would be wrong.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.core.api import IRKernel, elementwise_edge_compute
+from repro.core.adaptive import AdaptivePartitioner
+from repro.core.env import RuntimeEnv
+from repro.core.partition import (
+    arrange_nodes,
+    block_partition,
+    classify_edges,
+    split_edges_by_node_ranges,
+)
+from repro.core.reduction_object import DenseReductionObject
+from repro.device.costmodel import shared_memory_partitions
+from repro.device.gpu import GPUDevice
+from repro.device.work import WorkModel, scaled
+from repro.util.errors import ConfigurationError
+
+_TAG_IDS = 102
+_TAG_DATA = 103
+
+
+class IrregularReductionRuntime:
+    """Runtime instance for an irregular-reduction kernel over one mesh."""
+
+    def __init__(
+        self,
+        env: RuntimeEnv,
+        *,
+        overlap: bool = True,
+        localized: bool = True,
+        adaptive: bool = True,
+    ) -> None:
+        """
+        Args:
+            env: The owning runtime environment.
+            overlap: Overlap local-edge computation with the node-data
+                exchange (paper's optimization; Fig. 7 ablates it).
+            localized: Use shared-memory-sized reduction partitions on
+                GPUs / private per-core objects on CPUs.
+            adaptive: Re-split the device workload by profiled speed from
+                the second time step (paper §III-D); ``False`` keeps the
+                even split (ablation).
+        """
+        self.env = env
+        self.overlap = overlap
+        self.localized = localized
+        self.adaptive = adaptive
+        self._kernel: IRKernel | None = None
+        self._parameter: Any = None
+        # Mesh state (set_mesh / _setup)
+        self._configured = False
+        self._needs_id_exchange = True
+        self._data_dirty = True
+        self._gpu_edges_loaded = False
+        self._timestep = 0
+        self._partitioner: AdaptivePartitioner | None = None
+        self._ranges: list[tuple[int, int]] | None = None
+        self._result: np.ndarray | None = None
+
+    # -- configuration ---------------------------------------------------
+    def set_kernel(self, kernel: IRKernel) -> None:
+        self._kernel = kernel
+
+    def set_edge_comp_func(
+        self,
+        fn,
+        *,
+        reduce_op: str = "sum",
+        value_width: int = 1,
+        work: WorkModel,
+        dtype=np.float64,
+        batched: bool = False,
+    ) -> None:
+        """Install a paper-style ``ir_edge_compute_fp`` (Table I)."""
+        batch = fn if batched else elementwise_edge_compute(fn)
+        self.set_kernel(
+            IRKernel(
+                edge_compute_batch=batch,
+                reduce_op=reduce_op,
+                value_width=value_width,
+                work=work,
+                dtype=np.dtype(dtype),
+            )
+        )
+
+    def set_node_reduc_func(self, reduce_op: str) -> None:
+        """Change the node combining op of the installed kernel."""
+        if self._kernel is None:
+            raise ConfigurationError("set a kernel before set_node_reduc_func")
+        self.set_kernel(
+            IRKernel(
+                edge_compute_batch=self._kernel.edge_compute_batch,
+                reduce_op=reduce_op,
+                value_width=self._kernel.value_width,
+                work=self._kernel.work,
+                dtype=self._kernel.dtype,
+            )
+        )
+
+    def set_parameter(self, parameter: Any) -> None:
+        self._parameter = parameter
+
+    def set_mesh(
+        self,
+        edges: np.ndarray,
+        node_data: np.ndarray,
+        edge_data: np.ndarray | None = None,
+        *,
+        model_edges: int | None = None,
+        model_nodes: int | None = None,
+        device_node_bytes: float | None = None,
+        exchange_scale: float | None = None,
+    ) -> None:
+        """Provide the (global) mesh; every rank passes identical arrays.
+
+        Args:
+            edges: ``(m, 2)`` indirection array of global node IDs.
+            node_data: ``(n, node_width)`` per-node attributes.
+            edge_data: Optional per-edge attributes aligned with ``edges``.
+            model_edges / model_nodes: Paper-scale counts the functional
+                mesh stands for (costs are charged at that scale).
+            device_node_bytes: Bytes per node actually uploaded to each
+                GPU's full node copy every time node data changes (default:
+                the whole row; MD apps upload positions only).
+            exchange_scale: Scale factor for the *remote-node exchange*
+                wire volume (default: ``model_nodes / functional_nodes``).
+                Remote-node counts grow with partition *surface*, not
+                volume, so apps with geometric meshes pass a
+                surface-corrected factor (see ``repro.apps.minimd``).
+        """
+        edges = np.asarray(edges)
+        node_data = np.asarray(node_data, dtype=np.float64)
+        if node_data.ndim == 1:
+            node_data = node_data[:, None]
+        if edges.ndim != 2 or edges.shape[1] != 2:
+            raise ConfigurationError(f"edges must be (m, 2), got {edges.shape}")
+        self._n_global_nodes = len(node_data)
+        self._n_global_edges = len(edges)
+        self._edge_scale = scaled(max(1, len(edges)), model_edges)
+        self._node_scale = scaled(max(1, len(node_data)), model_nodes)
+        self._exchange_scale = (
+            float(exchange_scale) if exchange_scale is not None else self._node_scale
+        )
+        if self._exchange_scale <= 0:
+            raise ConfigurationError("exchange_scale must be > 0")
+
+        nprocs = self.env.nprocs
+        offsets = block_partition(self._n_global_nodes, nprocs)
+        arrangement, local_edges, cross_edges = arrange_nodes(edges, offsets, self.env.rank)
+        self._offsets = offsets
+        self._arr = arrangement
+
+        # Renumber edge endpoints to arranged slots (paper: "converts these
+        # IDs into the local rank").
+        self._local_edges = arrangement.slot_of_global(
+            local_edges.reshape(-1), self._n_global_nodes
+        ).reshape(-1, 2)
+        self._cross_edges = arrangement.slot_of_global(
+            cross_edges.reshape(-1), self._n_global_nodes
+        ).reshape(-1, 2)
+
+        # Edge data travels with its edges.
+        if edge_data is not None:
+            edge_data = np.asarray(edge_data)
+            lm, cm = classify_edges(edges, arrangement.lo, arrangement.hi)
+            self._local_edge_data = edge_data[lm]
+            self._cross_edge_data = edge_data[cm]
+        else:
+            self._local_edge_data = None
+            self._cross_edge_data = None
+
+        # Arranged node-data store (Fig. 3): local block + grouped remotes.
+        self._node_width = node_data.shape[1]
+        self._device_node_bytes = (
+            float(device_node_bytes)
+            if device_node_bytes is not None
+            else float(self._node_width * 8)
+        )
+        self._nodes = np.zeros((arrangement.n_slots, self._node_width))
+        self._nodes[: arrangement.n_local] = node_data[arrangement.lo : arrangement.hi]
+        # Remote slots deliberately stay zero until the exchange fills them.
+
+        self._partitioner = AdaptivePartitioner(len(self.env.devices))
+        self._ranges = None
+        self._configured = True
+        self._needs_id_exchange = True
+        self._data_dirty = True
+        self._gpu_edges_loaded = False
+        self._timestep = 0
+
+        # Load-time cost: each process inspects the full edge list to pick
+        # its own (paper §III-B "inspects all the input edges").
+        inspect = self._n_global_edges * self._edge_scale * 2 * 8  # two int64 reads/edge
+        self.env.clock.advance(inspect / self.env.ctx.node.cpu.mem_bandwidth)
+
+    # -- remote-node ID exchange (steps 1-4) -------------------------------
+    def _exchange_ids(self) -> None:
+        comm = self.env.comm
+        nprocs = comm.size
+        arr = self._arr
+        # Steps 1-2: tell every process how many of its nodes we need
+        # (an all-to-all of counts stands in for the pairwise requests).
+        counts = np.zeros(nprocs, dtype=np.int64)
+        for owner, ids in arr.remote_ids.items():
+            counts[owner] = len(ids)
+        all_counts = comm.alltoall(list(counts))
+        # Steps 3-4: exchange the actual global-ID lists.
+        reqs = []
+        for owner, ids in arr.remote_ids.items():
+            reqs.append(
+                comm.isend(ids, owner, _TAG_IDS, wire_bytes=ids.nbytes * self._exchange_scale)
+            )
+        self._serve: dict[int, np.ndarray] = {}
+        for requester, cnt in enumerate(all_counts):
+            if requester != comm.rank and cnt > 0:
+                ids = comm.recv(source=requester, tag=_TAG_IDS)
+                self._serve[requester] = np.asarray(ids) - arr.lo  # local indices
+        comm.waitall(reqs)
+        self._needs_id_exchange = False
+
+    # -- node-data exchange (steps 5-6) -------------------------------------
+    def _begin_node_exchange(self) -> list:
+        comm = self.env.comm
+        arr = self._arr
+        itemsize = self._nodes.itemsize
+        recv_reqs = [
+            (owner, comm.irecv(source=owner, tag=_TAG_DATA)) for owner in arr.remote_ids
+        ]
+        for requester, idx in self._serve.items():
+            buf = self._nodes[idx]  # gather into the send buffer (step 5 copy)
+            nbytes = len(idx) * self._node_width * itemsize * self._exchange_scale
+            self.env.clock.advance(self.env.host_memcpy_time(nbytes))
+            comm.isend(buf, requester, _TAG_DATA, wire_bytes=nbytes)
+        return recv_reqs
+
+    def _finish_node_exchange(self, recv_reqs: list) -> None:
+        arr = self._arr
+        for owner, req in recv_reqs:
+            data = req.wait()
+            base = arr.remote_offsets[owner]
+            n = len(arr.remote_ids[owner])
+            self._nodes[base : base + n] = np.asarray(data).reshape(n, self._node_width)
+        self._data_dirty = False
+
+    # -- device partitioning ------------------------------------------------
+    def _device_ranges(self) -> list[tuple[int, int]]:
+        counts = self._partitioner.split(self._arr.n_local)
+        ranges = []
+        lo = 0
+        for c in counts:
+            ranges.append((lo, lo + int(c)))
+            lo += int(c)
+        return ranges
+
+    def _edges_for_ranges(
+        self, edges: np.ndarray, ranges: list[tuple[int, int]]
+    ) -> list[np.ndarray]:
+        return split_edges_by_node_ranges(edges, ranges)
+
+    # -- one time step --------------------------------------------------------
+    def start(self) -> None:
+        """Execute one reduction pass over all edges (paper: ``ir->start()``)."""
+        if not self._configured:
+            raise ConfigurationError("call set_mesh before start")
+        if self._kernel is None:
+            raise ConfigurationError("no kernel configured")
+        env = self.env
+        clock = env.clock
+        kernel = self._kernel
+        t0 = clock.now
+        for dev in env.devices:
+            dev.reset(start=t0)
+        if self._needs_id_exchange:
+            self._exchange_ids()
+
+        # Adaptive (re)partitioning of the reduction space across devices.
+        new_ranges = self._device_ranges()
+        repartitioned = new_ranges != self._ranges
+        self._ranges = new_ranges
+        local_sets = self._edges_for_ranges(self._local_edges, new_ranges)
+        cross_sets = self._edges_for_ranges(self._cross_edges, new_ranges)
+
+        # Charge GPU-side data movement: edges are uploaded on first use
+        # and after every repartition; node data is re-uploaded whenever it
+        # changed (full copy per device, paper §III-D).
+        if self._local_edge_data is not None:
+            per_edge_attr = self._local_edge_data.itemsize * (
+                self._local_edge_data.shape[1] if self._local_edge_data.ndim > 1 else 1
+            )
+        else:
+            per_edge_attr = 0
+        edge_bytes_per = 2 * 8 + per_edge_attr  # two int64 endpoints + attributes
+        node_bytes = len(self._nodes) * self._device_node_bytes * self._node_scale
+        upload_done: dict[str, float] = {}
+        node_upload_busy: dict[str, float] = {d.name: 0.0 for d in env.devices}
+        for d, dev in enumerate(env.devices):
+            ready = clock.now
+            if isinstance(dev, GPUDevice):
+                if repartitioned or not self._gpu_edges_loaded:
+                    n_edges_dev = (len(local_sets[d]) + len(cross_sets[d])) * self._edge_scale
+                    iv = dev.copy_engine.schedule(
+                        ready, dev.transfer_time(n_edges_dev * edge_bytes_per), "edges.h2d"
+                    )
+                    ready = iv.end
+                if self._data_dirty or self._timestep == 0:
+                    iv = dev.copy_engine.schedule(
+                        ready, dev.transfer_time(node_bytes), "nodes.h2d"
+                    )
+                    node_upload_busy[dev.name] = iv.duration
+                    ready = iv.end
+            upload_done[dev.name] = ready
+        self._gpu_edges_loaded = True
+
+        if self._data_dirty or self._timestep == 0:
+            recv_reqs = self._begin_node_exchange()
+        else:
+            recv_reqs = []
+
+        # Per-device reduction objects over disjoint local node ranges.
+        objs = [
+            DenseReductionObject(
+                max(1, hi - lo), kernel.value_width, kernel.reduce_op, kernel.dtype, key_lo=lo
+            )
+            for lo, hi in new_ranges
+        ]
+        # Record the SIII-E shared-memory partition counts (each partition
+        # of the reduction space fits one SM's scratchpad).
+        elem_bytes = kernel.value_width * kernel.dtype.itemsize
+        for d, dev in enumerate(env.devices):
+            if isinstance(dev, GPUDevice):
+                lo, hi = new_ranges[d]
+                n_dev_nodes = max(1, int((hi - lo) * self._node_scale))
+                env.trace.record(
+                    "partition",
+                    f"IR:shared-parts:{dev.name}",
+                    clock.now,
+                    clock.now,
+                    num_parts=shared_memory_partitions(n_dev_nodes, elem_bytes, dev.spec),
+                )
+
+        device_busy = {d.name: 0.0 for d in env.devices}
+
+        def compute_phase(edge_sets, edge_array, edge_data, phase: str, ready_floor: float) -> float:
+            finish = ready_floor
+            for d, dev in enumerate(env.devices):
+                sel = edge_sets[d]
+                if len(sel) == 0:
+                    continue
+                edges_d = edge_array[sel]
+                data_d = None if edge_data is None else edge_data[sel]
+                kernel.edge_compute_batch(objs[d], edges_d, data_d, self._nodes, self._parameter)
+                dur = dev.partition_time(
+                    kernel.work,
+                    len(sel) * self._edge_scale,
+                    localized=self.localized,
+                    framework=True,
+                )
+                tl = dev.timelines()[-1]  # compute engine / last core acts as the device line
+                iv = tl.schedule(max(upload_done[dev.name], ready_floor), dur, f"IR.{phase}")
+                device_busy[dev.name] += dur
+                finish = max(finish, iv.end)
+                env.trace.record(
+                    "compute", f"IR:{phase}:{dev.name}", iv.start, iv.end, edges=len(sel)
+                )
+            return finish
+
+        if self.overlap and recv_reqs:
+            local_done = compute_phase(
+                local_sets, self._local_edges, self._local_edge_data, "local", t0
+            )
+            self._finish_node_exchange(recv_reqs)
+            exchange_done = clock.now
+            cross_ready = max(local_done, exchange_done)
+            cross_done = compute_phase(
+                cross_sets, self._cross_edges, self._cross_edge_data, "cross", cross_ready
+            )
+            end = max(local_done, cross_done)
+        else:
+            if recv_reqs:
+                self._finish_node_exchange(recv_reqs)
+            ready = clock.now
+            local_done = compute_phase(
+                local_sets, self._local_edges, self._local_edge_data, "local", ready
+            )
+            cross_done = compute_phase(
+                cross_sets, self._cross_edges, self._cross_edge_data, "cross", ready
+            )
+            end = max(local_done, cross_done)
+        clock.advance_to(end)
+
+        # Profile device speeds for the adaptive split (paper: profile the
+        # first step, repartition in the second).
+        if self.adaptive:
+            counts = np.array(
+                [len(local_sets[d]) + len(cross_sets[d]) for d in range(len(env.devices))],
+                dtype=np.float64,
+            )
+            # Profile with the *recurring* per-step costs (compute + node
+            # re-upload); the one-time edge upload is excluded so the
+            # adaptive split reflects steady-state speeds.
+            times = np.array(
+                [
+                    max(device_busy[d.name] + node_upload_busy[d.name], 1e-30)
+                    for d in env.devices
+                ]
+            )
+            if counts.sum() > 0 and not self._partitioner.profiled:
+                self._partitioner.observe(counts, times)
+
+        # Concatenate device results over the disjoint reduction space.
+        self._result = np.concatenate([o.values for o in objs], axis=0)[: self._arr.n_local]
+        self._timestep += 1
+        env.trace.record("compute", "IR:step", t0, clock.now, step=self._timestep)
+
+    # -- results / updates -----------------------------------------------------
+    @property
+    def local_node_range(self) -> tuple[int, int]:
+        """Global-ID range ``[lo, hi)`` of this process's nodes."""
+        self._check_configured()
+        return self._arr.lo, self._arr.hi
+
+    def get_local_reduction(self) -> np.ndarray:
+        """``(n_local, value_width)`` reduction result over local nodes."""
+        if self._result is None:
+            raise ConfigurationError("start() has not produced a result yet")
+        return self._result
+
+    def get_local_nodes(self) -> np.ndarray:
+        """Current local node data (a copy)."""
+        self._check_configured()
+        return self._nodes[: self._arr.n_local].copy()
+
+    def update_nodedata(self, new_local_nodes: np.ndarray) -> None:
+        """Replace local node data (paper: ``ir->update_nodedata(result)``).
+
+        Marks the data dirty so the next :meth:`start` re-runs the step-5/6
+        exchange (remote copies everywhere are stale now).
+
+        SPMD contract: if *any* rank updates its node data between two
+        ``start()`` calls, **every** rank must call ``update_nodedata``
+        before its next ``start()`` (with unchanged data if it has no
+        updates) — the step-5/6 exchange is collective, and a rank that
+        skips it would serve stale values to its neighbours.
+        """
+        self._check_configured()
+        new_local_nodes = np.asarray(new_local_nodes, dtype=np.float64)
+        if new_local_nodes.shape != (self._arr.n_local, self._node_width):
+            raise ConfigurationError(
+                f"expected shape {(self._arr.n_local, self._node_width)}, "
+                f"got {new_local_nodes.shape}"
+            )
+        self._nodes[: self._arr.n_local] = new_local_nodes
+        self.env.clock.advance(self.env.host_memcpy_time(new_local_nodes.nbytes * self._node_scale))
+        self._data_dirty = True
+
+    def _check_configured(self) -> None:
+        if not self._configured:
+            raise ConfigurationError("call set_mesh first")

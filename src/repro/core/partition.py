@@ -1,0 +1,188 @@
+"""Workload partitioning: reduction-space blocks and edge classification.
+
+Implements the paper's §II-A partitioning scheme for irregular reductions:
+
+1. Divide the nodes (the *reduction space*) into equal contiguous blocks,
+   one per partition (process or device).
+2. Group the edges: an edge whose endpoints fall in the same block is
+   *local* (assigned exclusively); an edge crossing blocks is a *cross
+   edge* and is assigned to **both** partitions — each side updates only
+   its own endpoint, which removes races and the need for a combine step.
+
+:func:`arrange_nodes` additionally builds the Fig. 3 memory layout: local
+nodes stored contiguously in front, remote nodes grouped (contiguously) by
+owning process behind them, plus a global-ID array for the data exchange
+and the renumbering of edge endpoints into local slots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.util.errors import ValidationError
+
+
+def block_partition(n: int, parts: int) -> np.ndarray:
+    """Offsets of a balanced contiguous split of ``range(n)`` into ``parts``.
+
+    Returns ``parts + 1`` offsets; partition ``p`` is
+    ``[offsets[p], offsets[p+1])``.  The first ``n % parts`` partitions get
+    one extra element.
+
+    >>> block_partition(10, 3)
+    array([ 0,  4,  7, 10])
+    """
+    if n < 0:
+        raise ValidationError(f"n must be >= 0, got {n}")
+    if parts <= 0:
+        raise ValidationError(f"parts must be > 0, got {parts}")
+    base, extra = divmod(n, parts)
+    sizes = np.full(parts, base, dtype=np.int64)
+    sizes[:extra] += 1
+    return np.concatenate([[0], np.cumsum(sizes)])
+
+
+def partition_counts(n: int, parts: int) -> np.ndarray:
+    """Sizes of the balanced split (``diff`` of :func:`block_partition`)."""
+    return np.diff(block_partition(n, parts))
+
+
+def owner_of(offsets: np.ndarray, ids: np.ndarray) -> np.ndarray:
+    """Partition index owning each ID, given block offsets.
+
+    >>> owner_of(np.array([0, 4, 7, 10]), np.array([0, 3, 4, 9]))
+    array([0, 0, 1, 2])
+    """
+    ids = np.asarray(ids)
+    if ids.size and (ids.min() < offsets[0] or ids.max() >= offsets[-1]):
+        raise ValidationError("ids outside the partitioned range")
+    return np.searchsorted(offsets, ids, side="right") - 1
+
+
+def classify_edges(
+    edges: np.ndarray, lo: int, hi: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Masks of (local, cross) edges relative to node block ``[lo, hi)``.
+
+    *Local*: both endpoints inside the block.  *Cross*: exactly one
+    endpoint inside.  Edges touching the block not at all get neither mask
+    (they belong to other partitions).
+    """
+    edges = np.asarray(edges)
+    if edges.ndim != 2 or edges.shape[1] != 2:
+        raise ValidationError(f"edges must be (m, 2), got {edges.shape}")
+    in0 = (edges[:, 0] >= lo) & (edges[:, 0] < hi)
+    in1 = (edges[:, 1] >= lo) & (edges[:, 1] < hi)
+    local = in0 & in1
+    cross = in0 ^ in1
+    return local, cross
+
+
+@dataclass
+class NodeArrangement:
+    """The Fig. 3 node layout for one process.
+
+    Attributes:
+        lo, hi: Global-ID range of the local node block.
+        remote_ids: ``{owner_rank: sorted global IDs}`` of remote nodes this
+            process reads (endpoints of its cross edges).
+        remote_offsets: ``{owner_rank: slot offset}`` where that owner's
+            remote block begins in the arranged array.
+        n_slots: Total arranged slots = local count + all remote counts.
+    """
+
+    lo: int
+    hi: int
+    remote_ids: dict[int, np.ndarray]
+    remote_offsets: dict[int, int]
+    n_slots: int
+
+    @property
+    def n_local(self) -> int:
+        return self.hi - self.lo
+
+    def slot_of_global(self, global_ids: np.ndarray, n_global: int) -> np.ndarray:
+        """Map global node IDs to arranged local slots (vectorized).
+
+        Raises if any ID is neither local nor a known remote.
+        """
+        lookup = np.full(n_global, -1, dtype=np.int64)
+        lookup[self.lo : self.hi] = np.arange(self.n_local)
+        for owner, ids in self.remote_ids.items():
+            base = self.remote_offsets[owner]
+            lookup[ids] = base + np.arange(len(ids))
+        slots = lookup[np.asarray(global_ids)]
+        if slots.size and slots.min() < 0:
+            raise ValidationError("edge references a node that is neither local nor remote")
+        return slots
+
+
+def arrange_nodes(
+    edges: np.ndarray, offsets: np.ndarray, my_part: int
+) -> tuple[NodeArrangement, np.ndarray, np.ndarray]:
+    """Build this partition's edge set and node arrangement.
+
+    Args:
+        edges: Global ``(m, 2)`` indirection array (all edges).
+        offsets: Node block offsets from :func:`block_partition`.
+        my_part: This process's partition index.
+
+    Returns:
+        ``(arrangement, local_edges, cross_edges)`` where the edge arrays
+        hold *global* endpoint IDs; renumber them to slots with
+        :meth:`NodeArrangement.slot_of_global`.
+    """
+    nparts = len(offsets) - 1
+    if not 0 <= my_part < nparts:
+        raise ValidationError(f"my_part {my_part} out of range for {nparts} partitions")
+    lo, hi = int(offsets[my_part]), int(offsets[my_part + 1])
+    local_mask, cross_mask = classify_edges(edges, lo, hi)
+    local_edges = np.asarray(edges)[local_mask]
+    cross_edges = np.asarray(edges)[cross_mask]
+
+    # Remote endpoints of cross edges, grouped by owner, each group sorted.
+    remote_ids: dict[int, np.ndarray] = {}
+    remote_offsets: dict[int, int] = {}
+    n_local = hi - lo
+    base = n_local
+    if len(cross_edges):
+        ends = cross_edges.reshape(-1)
+        outside = ends[(ends < lo) | (ends >= hi)]
+        uniq = np.unique(outside)
+        owners = owner_of(offsets, uniq)
+        for owner in np.unique(owners):
+            ids = uniq[owners == owner]
+            remote_ids[int(owner)] = ids
+            remote_offsets[int(owner)] = base
+            base += len(ids)
+
+    arrangement = NodeArrangement(
+        lo=lo,
+        hi=hi,
+        remote_ids=remote_ids,
+        remote_offsets=remote_offsets,
+        n_slots=base,
+    )
+    return arrangement, local_edges, cross_edges
+
+
+def split_edges_by_node_ranges(
+    edges_slots: np.ndarray, ranges: list[tuple[int, int]]
+) -> list[np.ndarray]:
+    """Assign edges (in local-slot space) to device node-range partitions.
+
+    Device-level application of the same reduction-space rule: an edge is
+    given to every device whose range contains at least one endpoint (cross
+    edges are duplicated); each device's reduction object then filters
+    updates to its own range.  Returns per-device index arrays into
+    ``edges_slots``.
+    """
+    edges_slots = np.asarray(edges_slots)
+    out = []
+    for lo, hi in ranges:
+        in0 = (edges_slots[:, 0] >= lo) & (edges_slots[:, 0] < hi)
+        in1 = (edges_slots[:, 1] >= lo) & (edges_slots[:, 1] < hi)
+        out.append(np.nonzero(in0 | in1)[0])
+    return out

@@ -1,0 +1,195 @@
+"""Reduction objects: the framework's accumulation data structure.
+
+The paper's reduction object is "a hash table with support for parallel
+key-value insertion".  Two implementations:
+
+- :class:`DenseReductionObject` — the fast path when the key space is a
+  dense integer range (cluster IDs, node IDs).  Backed by one NumPy array;
+  ``insert_many`` uses unbuffered ``ufunc.at`` scatter so duplicate keys in
+  one batch combine correctly (the defining property of a reduction).
+- :class:`HashReductionObject` — a dict-backed variant for sparse or
+  unknown key spaces; same interface, used for API completeness and as a
+  semantic oracle in tests.
+
+Both support a *key range* filter ``[lo, hi)``: inserts outside the range
+are silently dropped.  That filter is how two of the paper's rules are
+enforced mechanically: "when an edge is being processed, only the node(s)
+belonging to the current partition is updated" (inter-process), and the
+same rule again between devices within a process.
+
+Insert counting: every object tracks how many inserts were *attempted*
+(``n_inserts``), which the cost model uses to charge atomic operations.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from repro.core.api import resolve_op
+from repro.util.errors import ValidationError
+
+
+class DenseReductionObject:
+    """Reduction object over integer keys in ``[key_lo, key_hi)``.
+
+    Values are ``(num_keys, value_width)`` and combine with the named op.
+    """
+
+    def __init__(
+        self,
+        num_keys: int,
+        value_width: int = 1,
+        op: str = "sum",
+        dtype: np.dtype | type = np.float64,
+        key_lo: int = 0,
+    ) -> None:
+        if num_keys <= 0 or value_width <= 0:
+            raise ValidationError("num_keys and value_width must be > 0")
+        self.op = op
+        self._ufunc, self._identity = resolve_op(op)
+        self.key_lo = int(key_lo)
+        self.key_hi = int(key_lo) + int(num_keys)
+        self.value_width = int(value_width)
+        self.dtype = np.dtype(dtype)
+        self.values = np.full((num_keys, value_width), self._identity, dtype=self.dtype)
+        self.n_inserts = 0
+        self.n_dropped = 0
+
+    @property
+    def num_keys(self) -> int:
+        return self.key_hi - self.key_lo
+
+    def insert(self, key: int, value) -> None:
+        """Insert one key/value pair (paper's ``obj->insert(&key, &val)``)."""
+        self.n_inserts += 1
+        if not self.key_lo <= key < self.key_hi:
+            self.n_dropped += 1
+            return
+        self.values[key - self.key_lo] = self._ufunc(
+            self.values[key - self.key_lo], np.asarray(value, dtype=self.dtype)
+        )
+
+    def insert_many(self, keys: np.ndarray, values: np.ndarray) -> None:
+        """Vectorized insert of ``len(keys)`` pairs.
+
+        Duplicate keys within the batch combine correctly (``ufunc.at`` is
+        unbuffered scatter).  ``values`` may be ``(n,)`` when
+        ``value_width == 1`` or ``(n, value_width)``.
+        """
+        keys = np.asarray(keys)
+        values = np.asarray(values, dtype=self.dtype)
+        if values.ndim == 1:
+            values = values[:, None]
+        if values.shape != (len(keys), self.value_width):
+            raise ValidationError(
+                f"values shape {values.shape} does not match "
+                f"({len(keys)}, {self.value_width})"
+            )
+        self.n_inserts += len(keys)
+        mask = (keys >= self.key_lo) & (keys < self.key_hi)
+        if not mask.all():
+            self.n_dropped += int((~mask).sum())
+            keys = keys[mask]
+            values = values[mask]
+        self._ufunc.at(self.values, keys - self.key_lo, values)
+
+    def merge(self, other: "DenseReductionObject") -> None:
+        """Combine another object elementwise (same keys, same op)."""
+        if not isinstance(other, DenseReductionObject):
+            raise ValidationError("can only merge DenseReductionObject instances")
+        if (other.key_lo, other.key_hi, other.value_width, other.op) != (
+            self.key_lo,
+            self.key_hi,
+            self.value_width,
+            self.op,
+        ):
+            raise ValidationError(
+                "merge requires identical key range, value width, and op "
+                f"(got [{other.key_lo},{other.key_hi})x{other.value_width}/{other.op} vs "
+                f"[{self.key_lo},{self.key_hi})x{self.value_width}/{self.op})"
+            )
+        self.values = self._ufunc(self.values, other.values)
+
+    def as_array(self) -> np.ndarray:
+        """The ``(num_keys, value_width)`` result array (a live view)."""
+        return self.values
+
+    @property
+    def nbytes(self) -> int:
+        return self.values.nbytes
+
+    def spawn_empty(self) -> "DenseReductionObject":
+        """A fresh object with the same configuration (for per-device copies)."""
+        return DenseReductionObject(
+            self.num_keys, self.value_width, self.op, self.dtype, key_lo=self.key_lo
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"DenseReductionObject(keys=[{self.key_lo},{self.key_hi}), "
+            f"width={self.value_width}, op={self.op!r})"
+        )
+
+
+class HashReductionObject:
+    """Dict-backed reduction object for sparse/hashable key spaces.
+
+    Keys may be any hashable value; values are scalars or small arrays.
+    Slower than :class:`DenseReductionObject` but places no constraint on
+    the key universe — the literal analogue of the paper's hash table.
+    """
+
+    def __init__(self, op: str = "sum", value_width: int = 1, dtype=np.float64) -> None:
+        if value_width <= 0:
+            raise ValidationError("value_width must be > 0")
+        self.op = op
+        self._ufunc, self._identity = resolve_op(op)
+        self.value_width = int(value_width)
+        self.dtype = np.dtype(dtype)
+        self._table: dict = {}
+        self.n_inserts = 0
+
+    def insert(self, key, value) -> None:
+        self.n_inserts += 1
+        value = np.asarray(value, dtype=self.dtype).reshape(self.value_width)
+        existing = self._table.get(key)
+        if existing is None:
+            self._table[key] = value.copy()
+        else:
+            self._table[key] = self._ufunc(existing, value)
+
+    def insert_many(self, keys: Iterable, values: np.ndarray) -> None:
+        values = np.asarray(values, dtype=self.dtype)
+        if values.ndim == 1:
+            values = values[:, None]
+        for key, val in zip(keys, values):
+            self.insert(key, val)
+
+    def merge(self, other: "HashReductionObject") -> None:
+        if other.op != self.op or other.value_width != self.value_width:
+            raise ValidationError("merge requires identical op and value width")
+        for key, val in other._table.items():
+            existing = self._table.get(key)
+            if existing is None:
+                self._table[key] = val.copy()
+            else:
+                self._table[key] = self._ufunc(existing, val)
+
+    def get(self, key, default=None):
+        """Value for ``key`` or ``default``."""
+        val = self._table.get(key)
+        return default if val is None else val
+
+    def keys(self):
+        return self._table.keys()
+
+    def items(self):
+        return self._table.items()
+
+    def __len__(self) -> int:
+        return len(self._table)
+
+    def __contains__(self, key) -> bool:
+        return key in self._table

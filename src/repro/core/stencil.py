@@ -1,0 +1,577 @@
+"""Stencil runtime (paper §II-A, §III-C/D/E, Fig. 4).
+
+Grid decomposition and execution flow:
+
+- **Inter-process**: the global grid is divided over a virtual Cartesian
+  processor topology (user-supplied ``dims`` or an ``MPI_Dims_create``
+  style balanced factorization).  Each process holds its sub-grid with a
+  halo-padded allocation.
+- **Halo exchange (Fig. 4 steps 1–5)**: per axis and direction, the
+  boundary strips are packed into contiguous buffers (CPU: strip memcpy;
+  GPU: a zero-copy kernel writing a host-mapped buffer, charged on the
+  copy engine), sent with non-blocking messages, and unpacked into halo
+  slabs on completion (GPU: host buffer → device copy + scatter kernel).
+- **Overlap**: inner elements — those at least ``halo`` away from the
+  sub-grid boundary — depend only on local data and are computed
+  concurrently with the exchange; boundary elements run after (steps 3/7).
+  ``overlap=False`` serializes exchange before all compute (Fig. 7).
+- **Intra-process**: the sub-grid is split along the highest (first)
+  dimension across devices, evenly on step 1 and speed-proportionally
+  afterwards (:class:`~repro.core.adaptive.AdaptivePartitioner`).
+  Device-boundary planes are exchanged via PCIe / peer copies (step 6).
+- **Tiling**: grid tiling improves cache behaviour and lets all boundary
+  planes be processed by a single GPU kernel launch; ``tiling=False``
+  inflates CPU memory traffic and launches one GPU kernel per face
+  (Fig. 7 ablates this).
+
+Functional honesty: halo slabs are filled **only** by the exchange
+protocol, so a protocol bug produces wrong numbers, not just wrong times.
+Non-periodic global borders keep zero-filled halos (the apps' sequential
+references use the same convention).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.cluster.topology import dims_create
+from repro.comm.cart import CartComm
+from repro.comm.constants import PROC_NULL
+from repro.core.adaptive import AdaptivePartitioner
+from repro.core.api import StencilKernel
+from repro.core.env import RuntimeEnv
+from repro.core.partition import block_partition
+from repro.device.cpu import CPUDevice
+from repro.device.gpu import GPUDevice
+from repro.util.errors import ConfigurationError
+
+_TAG_HALO = 201
+
+
+class StencilFields:
+    """Parameter wrapper passed to kernels configured with static fields.
+
+    Lifts the paper's SII-C limitation that "only a single target object
+    can be processed every time a runtime instance is launched": kernels
+    may read any number of *static* coefficient fields (spatially varying
+    diffusivity, masks, metric terms) alongside the evolving grid.  Fields
+    are decomposed with the same halo padding as the grid, so
+    :func:`~repro.core.api.shifted` works on them unchanged.
+
+    Attributes:
+        param: The user's own parameter (whatever was passed to configure).
+        fields: ``{name: halo-padded local array}`` of the static fields.
+    """
+
+    __slots__ = ("param", "fields")
+
+    def __init__(self, param: Any, fields: dict[str, np.ndarray]) -> None:
+        self.param = param
+        self.fields = fields
+
+    def __getitem__(self, name: str) -> np.ndarray:
+        return self.fields[name]
+
+#: Extra CPU memory traffic factor when tiling is disabled (neighbour
+#: accesses miss cache across long rows).
+UNTILED_CPU_BYTES_FACTOR = 1.35
+
+#: CPU compute efficiency retained without tiling (cache-miss stalls).
+UNTILED_CPU_EFF_FACTOR = 0.85
+
+#: GPU efficiency retained without tiling (uncoalesced boundary handling).
+UNTILED_GPU_EFF_FACTOR = 0.90
+
+
+class StencilRuntime:
+    """Runtime instance for one stencil kernel over one structured grid."""
+
+    def __init__(
+        self,
+        env: RuntimeEnv,
+        *,
+        overlap: bool = True,
+        tiling: bool = True,
+        adaptive: bool = True,
+        cpu_tile: int = 16,
+        gpu_tile: int = 32,
+    ) -> None:
+        self.env = env
+        self.overlap = overlap
+        self.tiling = tiling
+        self.adaptive = adaptive
+        self.cpu_tile = cpu_tile
+        self.gpu_tile = gpu_tile
+        self._kernel: StencilKernel | None = None
+        self._configured = False
+        self._parameter: Any = None
+        self._timestep = 0
+        self._partitioner: AdaptivePartitioner | None = None
+        self._rows: np.ndarray | None = None  # current per-device row counts
+
+    # -- configuration ---------------------------------------------------
+    def configure(
+        self,
+        kernel: StencilKernel,
+        global_shape: tuple[int, ...],
+        *,
+        dims: tuple[int, ...] | None = None,
+        periodic: bool = False,
+        model_shape: tuple[int, ...] | None = None,
+        parameter: Any = None,
+        static_fields: dict[str, np.ndarray] | None = None,
+    ) -> None:
+        """Set up the decomposition (paper: grid size + virtual topology).
+
+        Args:
+            kernel: The stencil kernel specification.
+            global_shape: Functional global grid shape.
+            dims: Virtual processor topology; balanced if ``None``.
+            periodic: Periodic boundaries on every axis.
+            model_shape: Paper-scale grid shape this run stands for (costs
+                charged at that scale); same rank as ``global_shape``.
+            parameter: Opaque state passed to the kernel.
+            static_fields: Read-only coefficient fields (global arrays with
+                the grid's shape).  The kernel then receives a
+                :class:`StencilFields` wrapper as its parameter, carrying
+                halo-padded local views of every field (an extension past
+                the paper's single-target-object limitation, SII-C).
+        """
+        env = self.env
+        ndim = len(global_shape)
+        if ndim < 1:
+            raise ConfigurationError("global_shape must have at least one axis")
+        if dims is None:
+            dims = dims_create(env.nprocs, ndim)
+        self.cart = CartComm(env.comm, dims=dims, periodic=(periodic,) * ndim)
+        self._kernel = kernel
+        self._parameter = parameter
+        self.global_shape = tuple(int(s) for s in global_shape)
+        h = kernel.halo
+
+        # Per-axis local extent for this rank's coordinates.
+        self._axis_offsets = [
+            block_partition(self.global_shape[ax], dims[ax]) for ax in range(ndim)
+        ]
+        self.local_start = tuple(
+            int(self._axis_offsets[ax][self.cart.coords[ax]]) for ax in range(ndim)
+        )
+        self.local_shape = tuple(
+            int(
+                self._axis_offsets[ax][self.cart.coords[ax] + 1]
+                - self._axis_offsets[ax][self.cart.coords[ax]]
+            )
+            for ax in range(ndim)
+        )
+        for ax, ext in enumerate(self.local_shape):
+            if ext < 2 * h:
+                raise ConfigurationError(
+                    f"local extent {ext} on axis {ax} is below 2*halo={2 * h}; "
+                    f"use fewer processes or a bigger grid"
+                )
+
+        # Model-scale ratios (per axis) for cost charging.
+        if model_shape is None:
+            self._axis_ratio = (1.0,) * ndim
+        else:
+            if len(model_shape) != ndim:
+                raise ConfigurationError("model_shape rank must match global_shape")
+            self._axis_ratio = tuple(
+                model_shape[ax] / self.global_shape[ax] for ax in range(ndim)
+            )
+        self._elem_scale = float(np.prod(self._axis_ratio))
+
+        padded = tuple(ext + 2 * h for ext in self.local_shape)
+        self._src = np.zeros(padded, dtype=kernel.dtype)
+        self._dst = np.zeros(padded, dtype=kernel.dtype)
+        self.interior = tuple(slice(h, h + ext) for ext in self.local_shape)
+        self._fields: dict[str, np.ndarray] = {}
+        if static_fields:
+            for name, field in static_fields.items():
+                field = np.asarray(field)
+                if field.shape != self.global_shape:
+                    raise ConfigurationError(
+                        f"static field {name!r} has shape {field.shape}, "
+                        f"expected {self.global_shape}"
+                    )
+                self._fields[name] = self._pad_from_global(field, h)
+        self._partitioner = AdaptivePartitioner(len(env.devices))
+        self._rows = None
+        self._timestep = 0
+        self._configured = True
+
+    def set_global_grid(self, grid: np.ndarray) -> None:
+        """Load this rank's block from the (identical-on-all-ranks) grid."""
+        self._check_configured()
+        if grid.shape != self.global_shape:
+            raise ConfigurationError(
+                f"grid shape {grid.shape} != configured {self.global_shape}"
+            )
+        block = grid[
+            tuple(
+                slice(self.local_start[ax], self.local_start[ax] + self.local_shape[ax])
+                for ax in range(len(self.global_shape))
+            )
+        ]
+        self._src[self.interior] = block
+        self._dst[:] = 0
+
+    def set_parameter(self, parameter: Any) -> None:
+        self._parameter = parameter
+
+    def _pad_from_global(self, field: np.ndarray, h: int) -> np.ndarray:
+        """Local halo-padded view of a read-only global field.
+
+        Static fields never change, so their halos are filled once at
+        setup directly from the global array (the paper excludes setup
+        from its timings); out-of-domain halo cells stay zero.
+        """
+        padded = np.zeros(tuple(ext + 2 * h for ext in self.local_shape), dtype=field.dtype)
+        src_slices = []
+        dst_slices = []
+        for ax in range(field.ndim):
+            g_lo = max(0, self.local_start[ax] - h)
+            g_hi = min(self.global_shape[ax], self.local_start[ax] + self.local_shape[ax] + h)
+            src_slices.append(slice(g_lo, g_hi))
+            offset = g_lo - (self.local_start[ax] - h)
+            dst_slices.append(slice(offset, offset + (g_hi - g_lo)))
+        padded[tuple(dst_slices)] = field[tuple(src_slices)]
+        return padded
+
+    def _effective_parameter(self) -> Any:
+        if self._fields:
+            return StencilFields(self._parameter, self._fields)
+        return self._parameter
+
+    # -- regions ------------------------------------------------------------
+    def _inner_region(self) -> tuple[slice, ...]:
+        h = self._kernel.halo
+        return tuple(slice(sl.start + h, sl.stop - h) for sl in self.interior)
+
+    def _boundary_regions(self) -> list[tuple[slice, ...]]:
+        """Non-overlapping slabs covering interior minus inner."""
+        h = self._kernel.halo
+        regions: list[tuple[slice, ...]] = []
+        current = list(self.interior)
+        for ax in range(len(current)):
+            sl = current[ax]
+            lowside = tuple(
+                current[:ax] + [slice(sl.start, sl.start + h)] + current[ax + 1 :]
+            )
+            highside = tuple(
+                current[:ax] + [slice(sl.stop - h, sl.stop)] + current[ax + 1 :]
+            )
+            regions.append(lowside)
+            regions.append(highside)
+            current[ax] = slice(sl.start + h, sl.stop - h)
+        return regions
+
+    @staticmethod
+    def _region_elems(region: tuple[slice, ...]) -> int:
+        n = 1
+        for sl in region:
+            n *= max(0, sl.stop - sl.start)
+        return n
+
+    # -- halo exchange (Fig. 4 steps 1-5) --------------------------------------
+    def _face_slices(
+        self, axis: int, side: int, halo_side: bool
+    ) -> tuple[slice, ...]:
+        """Slices of the strip to send (interior edge) or fill (halo slab).
+
+        ``side`` is -1 (low) or +1 (high); ``halo_side`` selects the halo
+        slab (receive target) instead of the interior strip (send source).
+
+        On every axis *other* than the exchanged one the strip spans the
+        full padded extent (halos included): exchanging axes sequentially
+        then propagates corner/edge values through the shared face
+        neighbours — required for 9-point/27-point stencils.
+        """
+        h = self._kernel.halo
+        out = [slice(0, n) for n in self._src.shape]
+        sl = self.interior[axis]
+        if side < 0:
+            out[axis] = slice(sl.start - h, sl.start) if halo_side else slice(sl.start, sl.start + h)
+        else:
+            out[axis] = slice(sl.stop, sl.stop + h) if halo_side else slice(sl.stop - h, sl.stop)
+        return tuple(out)
+
+    def _face_bytes_model(self, axis: int) -> float:
+        """Model-scale bytes of one face strip."""
+        h = self._kernel.halo
+        elems = h
+        for ax, ext in enumerate(self.local_shape):
+            if ax != axis:
+                elems *= ext
+        scale = self._elem_scale / self._axis_ratio[axis]
+        return elems * scale * self._src.itemsize
+
+    def _pack_cost(self, axis: int, rows: np.ndarray) -> float:
+        """Charge step-1/2 packing of one face across the device split.
+
+        Returns the virtual time at which all send buffers are ready.
+        The face perpendicular to axis 0 belongs entirely to the first or
+        last device; faces along other axes are split across devices.
+        """
+        env = self.env
+        ready = env.clock.now
+        total_bytes = self._face_bytes_model(axis)
+        n_dev = len(env.devices)
+        shares = rows / max(1, rows.sum()) if axis != 0 else None
+        for d, dev in enumerate(env.devices):
+            if axis == 0:
+                # Only the device owning the outermost rows packs this face;
+                # attribute it to the first device for the low face and the
+                # last for the high face (both directions happen per step).
+                share = 1.0 if d in (0, n_dev - 1) else 0.0
+                nbytes = total_bytes * share / max(1, (2 if n_dev > 1 else 1))
+            else:
+                nbytes = total_bytes * shares[d]
+            if nbytes <= 0:
+                continue
+            if isinstance(dev, GPUDevice):
+                # Zero-copy kernel writes the host-mapped buffer.
+                dur = dev.spec.kernel_launch_overhead + nbytes / dev.spec.pcie_bandwidth
+                iv = dev.copy_engine.schedule(env.clock.now, dur, f"halo.pack[{axis}]")
+                ready = max(ready, iv.end)
+            else:
+                ready = max(ready, env.clock.now + env.host_memcpy_time(nbytes))
+        return ready
+
+    def _send_axis(self, axis: int, rows: np.ndarray) -> None:
+        """Pack and send this axis' two strips (Fig. 4 steps 1-2)."""
+        comm = self.env.comm
+        low_src, high_dst = self.cart.shift(axis, 1)
+        if low_src == PROC_NULL and high_dst == PROC_NULL:
+            return
+        pack_done = self._pack_cost(axis, rows)
+        self.env.clock.advance_to(pack_done)
+        wire = self._face_bytes_model(axis)
+        if high_dst != PROC_NULL:
+            strip = np.ascontiguousarray(self._src[self._face_slices(axis, +1, False)])
+            comm.isend(strip, high_dst, _TAG_HALO + axis, wire_bytes=wire)
+        if low_src != PROC_NULL:
+            strip = np.ascontiguousarray(self._src[self._face_slices(axis, -1, False)])
+            comm.isend(strip, low_src, _TAG_HALO + axis, wire_bytes=wire)
+
+    def _post_axis_recvs(self, axis: int) -> list[tuple[int, int, Any]]:
+        comm = self.env.comm
+        recvs = []
+        low_src, high_dst = self.cart.shift(axis, 1)
+        if low_src != PROC_NULL:
+            recvs.append((axis, -1, comm.irecv(source=low_src, tag=_TAG_HALO + axis)))
+        if high_dst != PROC_NULL:
+            recvs.append((axis, +1, comm.irecv(source=high_dst, tag=_TAG_HALO + axis)))
+        return recvs
+
+    def _fill_halos(self, recvs: list[tuple[int, int, Any]]) -> None:
+        """Wait for halo data, fill slabs, charge unpack (steps 4-5)."""
+        env = self.env
+        for axis, side, req in recvs:
+            data = req.wait()
+            slab = self._face_slices(axis, side, True)
+            self._src[slab] = np.asarray(data).reshape(self._src[slab].shape)
+            nbytes = self._face_bytes_model(axis)
+            unpack_end = env.clock.now
+            for dev in env.devices:
+                if isinstance(dev, GPUDevice):
+                    iv = dev.copy_engine.schedule(
+                        env.clock.now,
+                        dev.transfer_time(nbytes) + dev.spec.kernel_launch_overhead,
+                        f"halo.unpack[{axis}]",
+                    )
+                    unpack_end = max(unpack_end, iv.end)
+                else:
+                    unpack_end = max(
+                        unpack_end, env.clock.now + env.host_memcpy_time(nbytes)
+                    )
+            env.clock.advance_to(unpack_end)
+
+    def _begin_exchange(self) -> list[tuple[int, int, Any]]:
+        """Kick off the halo exchange: post axis-0 traffic immediately.
+
+        Later axes must wait for earlier axes' halos before their strips
+        carry correct corner values (sequential-axis corner propagation),
+        so only axis 0 is posted here; :meth:`_finish_exchange` drives the
+        rest.  Inner compute still overlaps the whole pipeline.
+        """
+        rows = self._rows if self._rows is not None else np.array([1])
+        recvs = self._post_axis_recvs(0)
+        self._send_axis(0, rows)
+        return recvs
+
+    def _finish_exchange(self, recvs: list[tuple[int, int, Any]]) -> None:
+        """Complete the exchange: fill axis-0 halos, then run later axes."""
+        rows = self._rows if self._rows is not None else np.array([1])
+        self._fill_halos(recvs)
+        for axis in range(1, len(self.local_shape)):
+            axis_recvs = self._post_axis_recvs(axis)
+            self._send_axis(axis, rows)
+            self._fill_halos(axis_recvs)
+
+    def _interdevice_exchange(self, ready: float) -> float:
+        """Step 6: boundary planes between neighbouring devices."""
+        env = self.env
+        devices = env.devices
+        if len(devices) < 2:
+            return ready
+        h = self._kernel.halo
+        plane_elems = h
+        for ax, ext in enumerate(self.local_shape):
+            if ax != 0:
+                plane_elems *= ext
+        nbytes = plane_elems * (self._elem_scale / self._axis_ratio[0]) * self._src.itemsize
+        finish = ready
+        for a, b in zip(devices[:-1], devices[1:]):
+            # Bidirectional plane swap between adjacent sub-grids.
+            for dev in (a, b):
+                if isinstance(dev, GPUDevice):
+                    iv = dev.copy_engine.schedule(
+                        ready, dev.peer_transfer_time(nbytes), "halo.d2d"
+                    )
+                    finish = max(finish, iv.end)
+                else:
+                    finish = max(finish, ready + env.host_memcpy_time(nbytes))
+        return finish
+
+    # -- device split ------------------------------------------------------------
+    def _device_rows(self) -> np.ndarray:
+        return self._partitioner.split(self.local_shape[0])
+
+    # -- compute -------------------------------------------------------------------
+    def _effective_work(self, dev) -> "Any":
+        """The kernel's work model adjusted for the tiling setting."""
+        work = self._kernel.work
+        if self.tiling:
+            return work
+        if isinstance(dev, CPUDevice):
+            # Long untiled rows blow the cache on neighbour accesses: more
+            # memory traffic *and* pipeline stalls in the compute loop.
+            return work.replace(
+                bytes_per_elem=work.bytes_per_elem * UNTILED_CPU_BYTES_FACTOR,
+                cpu_efficiency=work.cpu_efficiency * UNTILED_CPU_EFF_FACTOR,
+            )
+        return work.replace(gpu_efficiency=work.gpu_efficiency * UNTILED_GPU_EFF_FACTOR)
+
+    def _compute_regions(
+        self,
+        regions: list[tuple[slice, ...]],
+        rows: np.ndarray,
+        phase: str,
+        ready: float,
+    ) -> tuple[float, np.ndarray]:
+        """Run the kernel on ``regions``; charge per-device times.
+
+        The functional kernel applies once per region (device splitting
+        never changes the math); costs are split by each device's share of
+        the axis-0 rows.  Returns (finish time, per-device busy seconds).
+        """
+        env = self.env
+        kernel = self._kernel
+        total = 0
+        parameter = self._effective_parameter()
+        for region in regions:
+            kernel.apply(self._src, self._dst, region, parameter)
+            total += self._region_elems(region)
+        busy = np.zeros(len(env.devices))
+        finish = ready
+        shares = rows / max(1, rows.sum())
+        for d, dev in enumerate(env.devices):
+            n_model = total * shares[d] * self._elem_scale
+            if n_model <= 0:
+                continue
+            work = self._effective_work(dev)
+            if isinstance(dev, GPUDevice):
+                # Tiling groups all boundary planes into one launch; without
+                # it each face costs its own kernel launch.
+                launches = 1 if (self.tiling or phase != "boundary") else len(regions)
+                dur = launches * dev.spec.kernel_launch_overhead + n_model * dev.elem_time(
+                    work, framework=True
+                )
+                iv = dev.compute_engine.schedule(ready, dur, f"stencil.{phase}")
+                busy[d] += dur
+                finish = max(finish, iv.end)
+            else:
+                dur = dev.partition_time(work, n_model, framework=True)
+                iv = dev.timelines()[0].schedule(ready, dur, f"stencil.{phase}")
+                busy[d] += dur
+                finish = max(finish, iv.end)
+            env.trace.record("compute", f"ST:{phase}:{dev.name}", ready, finish)
+        return finish, busy
+
+    # -- one iteration -----------------------------------------------------------------
+    def step(self) -> None:
+        """One stencil iteration: exchange halos, apply kernel, swap buffers."""
+        self._check_configured()
+        if self._kernel is None:
+            raise ConfigurationError("no kernel configured")
+        env = self.env
+        clock = env.clock
+        t0 = clock.now
+        for dev in env.devices:
+            dev.reset(start=t0)
+        rows = self._device_rows()
+        self._rows = rows
+
+        recvs = self._begin_exchange()
+        inner = self._inner_region()
+        boundary = self._boundary_regions()
+
+        if self.overlap:
+            inner_done, busy_inner = self._compute_regions([inner], rows, "inner", clock.now)
+            self._finish_exchange(recvs)
+            dev_xchg_done = self._interdevice_exchange(clock.now)
+            ready = max(inner_done, dev_xchg_done)
+            bound_done, busy_bound = self._compute_regions(boundary, rows, "boundary", ready)
+            end = max(inner_done, bound_done)
+        else:
+            self._finish_exchange(recvs)
+            dev_xchg_done = self._interdevice_exchange(clock.now)
+            inner_done, busy_inner = self._compute_regions([inner], rows, "inner", dev_xchg_done)
+            bound_done, busy_bound = self._compute_regions(
+                boundary, rows, "boundary", inner_done
+            )
+            end = bound_done
+        clock.advance_to(end)
+
+        if self.adaptive and not self._partitioner.profiled:
+            busy = busy_inner + busy_bound
+            if busy.sum() > 0:
+                self._partitioner.observe(rows.astype(float), np.maximum(busy, 1e-30))
+
+        self._src, self._dst = self._dst, self._src
+        self._timestep += 1
+        env.trace.record("compute", "ST:step", t0, clock.now, step=self._timestep)
+
+    def run(self, iterations: int) -> None:
+        """Run ``iterations`` stencil steps (paper: the time-step loop)."""
+        if iterations < 1:
+            raise ConfigurationError(f"iterations must be >= 1, got {iterations}")
+        for _ in range(iterations):
+            self.step()
+
+    # -- results ---------------------------------------------------------------------------
+    def local_interior(self) -> np.ndarray:
+        """This rank's current sub-grid (a copy, halo stripped)."""
+        self._check_configured()
+        return self._src[self.interior].copy()
+
+    def gather_global(self) -> np.ndarray | None:
+        """Assemble the full grid at rank 0 (test/diagnostic helper)."""
+        self._check_configured()
+        piece = (self.local_start, self.local_interior())
+        parts = self.env.comm.gather(piece, root=0)
+        if parts is None:
+            return None
+        out = np.zeros(self.global_shape, dtype=self._kernel.dtype)
+        for start, block in parts:
+            out[
+                tuple(slice(start[ax], start[ax] + block.shape[ax]) for ax in range(out.ndim))
+            ] = block
+        return out
+
+    def _check_configured(self) -> None:
+        if not self._configured:
+            raise ConfigurationError("call configure first")

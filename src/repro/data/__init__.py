@@ -1,0 +1,27 @@
+"""Synthetic dataset generators (the paper's inputs, scaled).
+
+The paper's datasets (a 2.3 GB point file, a 130 M-edge mesh, a 500 k-atom
+box, a 32768x32768 image, a 512^3 grid) are not shippable; these generators
+produce statistically similar inputs at any scale from a single seed, and
+the benchmarks charge the cost model at paper scale (see
+:func:`repro.device.work.scaled`).
+
+All generators are deterministic given their seed (see
+:mod:`repro.util.rng`) so every rank of an SPMD run can generate the same
+global dataset locally instead of broadcasting it.
+"""
+
+from repro.data.points import clustered_points
+from repro.data.meshes import geometric_mesh, random_mesh
+from repro.data.atoms import fcc_lattice, build_neighbor_edges
+from repro.data.grids import heat3d_initial, synthetic_image
+
+__all__ = [
+    "clustered_points",
+    "geometric_mesh",
+    "random_mesh",
+    "fcc_lattice",
+    "build_neighbor_edges",
+    "heat3d_initial",
+    "synthetic_image",
+]

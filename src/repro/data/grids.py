@@ -1,0 +1,49 @@
+"""Structured grids and images for stencil applications."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util.errors import ValidationError
+from repro.util.rng import derive_seed, seeded_rng
+
+
+def heat3d_initial(shape: tuple[int, int, int], *, seed: int = 0, hot_fraction: float = 0.2) -> np.ndarray:
+    """Initial temperature field: a hot central box in a cold domain.
+
+    Mirrors the classic Heat3D benchmark setup (a heated region diffusing
+    into the domain; zero-temperature boundaries).
+    """
+    if len(shape) != 3 or any(s < 4 for s in shape):
+        raise ValidationError(f"shape must be 3-D with extents >= 4, got {shape}")
+    if not 0 < hot_fraction <= 1:
+        raise ValidationError("hot_fraction must be in (0, 1]")
+    grid = np.zeros(shape, dtype=np.float64)
+    center = [s // 2 for s in shape]
+    half = [max(1, int(s * hot_fraction / 2)) for s in shape]
+    region = tuple(slice(c - h, c + h) for c, h in zip(center, half))
+    grid[region] = 100.0
+    rng = seeded_rng(derive_seed(seed, "heat3d", shape))
+    grid += rng.random(shape) * 0.01  # symmetry-breaking noise
+    return grid
+
+
+def synthetic_image(shape: tuple[int, int], *, seed: int = 0, n_shapes: int = 24) -> np.ndarray:
+    """A float32 grayscale test image with rectangles and gradients.
+
+    Gives Sobel real edges to find, so correctness checks compare
+    meaningful gradient magnitudes rather than noise.
+    """
+    if len(shape) != 2 or any(s < 8 for s in shape):
+        raise ValidationError(f"shape must be 2-D with extents >= 8, got {shape}")
+    rng = seeded_rng(derive_seed(seed, "image", shape))
+    h, w = shape
+    yy, xx = np.mgrid[0:h, 0:w]
+    img = (xx / w * 0.3 + yy / h * 0.2).astype(np.float32)
+    for _ in range(n_shapes):
+        y0, x0 = rng.integers(0, h - 4), rng.integers(0, w - 4)
+        hh = int(rng.integers(2, max(3, h // 4)))
+        ww = int(rng.integers(2, max(3, w // 4)))
+        img[y0 : y0 + hh, x0 : x0 + ww] += float(rng.random()) * 0.8
+    img += rng.normal(0, 0.01, size=shape).astype(np.float32)
+    return np.clip(img, 0.0, 2.0).astype(np.float32)

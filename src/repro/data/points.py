@@ -1,0 +1,38 @@
+"""Point datasets for generalized reductions (Kmeans)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util.errors import ValidationError
+from repro.util.rng import derive_seed, seeded_rng
+
+
+def clustered_points(
+    n: int,
+    k: int,
+    dims: int = 3,
+    *,
+    seed: int = 0,
+    spread: float = 0.05,
+    dtype=np.float32,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Gaussian blobs around ``k`` centers in the unit cube.
+
+    Matches the paper's Kmeans input shape ("a three-dimensional dataset
+    with 40 centers"); single precision, like the 12-byte/point dataset.
+
+    Returns:
+        ``(points, true_centers)`` with shapes ``(n, dims)``/``(k, dims)``.
+    """
+    if n <= 0 or k <= 0 or dims <= 0:
+        raise ValidationError("n, k, dims must all be > 0")
+    if n < k:
+        raise ValidationError(f"need at least k={k} points, got {n}")
+    rng = seeded_rng(derive_seed(seed, "kmeans", "centers"))
+    centers = rng.random((k, dims))
+    prng = seeded_rng(derive_seed(seed, "kmeans", "points"))
+    assignment = prng.integers(0, k, size=n)
+    noise = prng.normal(0.0, spread, size=(n, dims))
+    points = centers[assignment] + noise
+    return points.astype(dtype), centers.astype(dtype)

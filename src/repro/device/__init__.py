@@ -1,0 +1,47 @@
+"""Device execution and cost models.
+
+A :class:`Device` executes kernel work *functionally* (the math happens in
+NumPy, on the rank thread) while charging simulated time derived from a
+roofline cost model plus pattern-specific terms:
+
+- compute:   ``flops_per_elem / (peak_flops * efficiency)``
+- memory:    ``bytes_per_elem / bandwidth`` (per-core share on CPUs)
+- atomics:   reduction-object inserts, priced by the contention model in
+  :mod:`repro.device.costmodel` — *localizing* reductions into GPU shared
+  memory (the paper's §III-E optimization) switches to the much cheaper
+  shared-memory atomic rate;
+- transfers: PCIe host↔device copies with latency + bandwidth terms;
+- fixed:     kernel-launch overhead per GPU kernel.
+
+Calibration philosophy: peak rates live in :mod:`repro.cluster.presets`
+(datasheet numbers); *efficiencies* live with each application's
+:class:`WorkModel` and are calibrated once against the paper's own
+single-device measurements (see ``repro.apps``).  Everything else —
+multi-device scaling, scheduling overhead, communication — emerges.
+"""
+
+from repro.device.work import WorkModel, scaled
+from repro.device.costmodel import (
+    atomic_cost_per_insert,
+    reduction_fits_in_shared,
+    shared_memory_partitions,
+    CPU_PRIVATE_INSERT_COST,
+    CPU_SHARED_ATOMIC_COST,
+)
+from repro.device.base import Device
+from repro.device.cpu import CPUDevice
+from repro.device.gpu import GPUDevice, GPU_THREADS_PER_BLOCK
+
+__all__ = [
+    "WorkModel",
+    "scaled",
+    "Device",
+    "CPUDevice",
+    "GPUDevice",
+    "GPU_THREADS_PER_BLOCK",
+    "atomic_cost_per_insert",
+    "reduction_fits_in_shared",
+    "shared_memory_partitions",
+    "CPU_PRIVATE_INSERT_COST",
+    "CPU_SHARED_ATOMIC_COST",
+]

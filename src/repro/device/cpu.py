@@ -1,0 +1,94 @@
+"""Multi-core CPU device model.
+
+One :class:`CPUDevice` stands for *all* the CPU cores of a node (the
+paper's runtime drives them with pthreads from a single process).  Each
+core is a separate worker :class:`~repro.sim.timeline.Timeline`, so the
+dynamic chunk scheduler sees 12 independent consumers; static partitions
+are charged assuming the partition is divided evenly across cores.
+
+Roofline: a core's per-element time is the max of its compute time and its
+share of the node memory bandwidth — running 12 cores flat out divides the
+memory system 12 ways, which is what makes memory-bound kernels (stencils)
+scale sub-linearly in cores, as on real hardware.
+"""
+
+from __future__ import annotations
+
+from repro.cluster.specs import CPUSpec
+from repro.device.base import Device
+from repro.device.costmodel import atomic_cost_per_insert
+from repro.device.work import WorkModel
+from repro.sim.timeline import Timeline
+from repro.util.errors import ValidationError
+
+
+class CPUDevice(Device):
+    """All CPU cores of one node, acting as one heterogeneous-team member."""
+
+    kind = "cpu"
+
+    def __init__(self, spec: CPUSpec, index: int = 0, name: str | None = None) -> None:
+        super().__init__(name or spec.name, index)
+        self.spec = spec
+        self._workers = [Timeline(f"cpu{index}.core{c}") for c in range(spec.cores)]
+
+    @property
+    def cores(self) -> int:
+        return self.spec.cores
+
+    def core_elem_time(
+        self, model: WorkModel, *, localized: bool = True, framework: bool = True
+    ) -> float:
+        """Seconds per element on ONE core with all cores active."""
+        flops = model.flops_per_elem + (model.runtime_overhead_flops if framework else 0.0)
+        compute = flops / (self.spec.core_flops * model.cpu_efficiency)
+        memory = model.bytes_per_elem / (
+            self.spec.mem_bandwidth * model.cpu_mem_efficiency / self.spec.cores
+        )
+        t = max(compute, memory)
+        if model.atomics_per_elem > 0:
+            t += model.atomics_per_elem * atomic_cost_per_insert(
+                "cpu",
+                model.num_reduction_keys or 1,
+                localized,
+                cpu_cores=self.spec.cores,
+            )
+        return t
+
+    def elem_time(
+        self, model: WorkModel, *, localized: bool = True, framework: bool = True
+    ) -> float:
+        """Seconds per element for the whole device (all cores together)."""
+        return self.core_elem_time(model, localized=localized, framework=framework) / self.cores
+
+    def partition_time(
+        self, model: WorkModel, n: float, *, localized: bool = True, framework: bool = True
+    ) -> float:
+        """Time for ``n`` elements split evenly across the cores."""
+        if n < 0:
+            raise ValidationError(f"n must be >= 0, got {n}")
+        return n * self.elem_time(model, localized=localized, framework=framework)
+
+    def memcpy_time(self, nbytes: float) -> float:
+        """Host-memory copy cost (boundary packing, reduction merges)."""
+        if nbytes < 0:
+            raise ValidationError(f"nbytes must be >= 0, got {nbytes}")
+        # memcpy reads + writes: 2x traffic over the node memory bus.
+        return 2.0 * nbytes / self.spec.mem_bandwidth
+
+    def timelines(self) -> list[Timeline]:
+        return list(self._workers)
+
+    @property
+    def workers(self) -> list[Timeline]:
+        """Per-core worker timelines for the dynamic chunk scheduler."""
+        return self._workers
+
+    def reset(self, start: float = 0.0) -> None:
+        self._workers = [
+            Timeline(f"cpu{self.index}.core{c}", start=start) for c in range(self.spec.cores)
+        ]
+
+    @property
+    def speed_hint(self) -> float:
+        return self.spec.total_flops

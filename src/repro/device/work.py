@@ -1,0 +1,118 @@
+"""Per-element kernel cost descriptions.
+
+A :class:`WorkModel` describes what one *input unit* of a kernel costs: its
+arithmetic, its memory traffic, how many reduction-object inserts it
+performs, and how efficiently tuned code reaches peak on each device class.
+Applications declare one WorkModel per kernel; runtimes hand them to
+devices to convert element counts into simulated seconds.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+
+from repro.util.errors import ValidationError
+
+
+@dataclass(frozen=True)
+class WorkModel:
+    """Cost description of one kernel, per input element.
+
+    Attributes:
+        name: Kernel name, used in traces and reports.
+        flops_per_elem: Floating-point operations per element.
+        bytes_per_elem: Device/host memory traffic per element (bytes).
+        cpu_efficiency: Fraction of CPU peak a tuned scalar/SSE loop
+            reaches for this kernel.  Calibrated per application (see
+            ``repro.apps``), not a free parameter of the simulator.
+        gpu_efficiency: Same for the GPU kernel.
+        cpu_mem_efficiency: Fraction of node memory bandwidth the access
+            pattern achieves (1.0 = streaming; gather/scatter lower).
+        gpu_mem_efficiency: Same for GPU device memory (coalescing).
+        atomics_per_elem: Reduction-object inserts per element (generalized
+            and irregular reductions; 0 for stencils).
+        num_reduction_keys: Distinct keys the inserts target (drives the
+            atomic-contention model); ``None`` when atomics_per_elem == 0.
+        transfer_bytes_per_elem: Host->device bytes streamed per element
+            when the input is *not* resident on the GPU (generalized
+            reductions copy their chunk in; irregular/stencil data stays
+            resident).
+        runtime_overhead_flops: Extra per-element bookkeeping arithmetic the
+            *framework* executes (e.g. the stencil runtime's offset
+            computation, §IV-C); hand-written baselines do not pay it.
+        runtime_overhead_flops_gpu: GPU-specific override of the above
+            (``None`` = same as CPU).  Generalized reductions pay their
+            bookkeeping mostly in the GPU kernel's key handling.
+    """
+
+    name: str
+    flops_per_elem: float
+    bytes_per_elem: float
+    cpu_efficiency: float = 0.5
+    gpu_efficiency: float = 0.5
+    cpu_mem_efficiency: float = 1.0
+    gpu_mem_efficiency: float = 1.0
+    atomics_per_elem: float = 0.0
+    num_reduction_keys: int | None = None
+    transfer_bytes_per_elem: float = 0.0
+    runtime_overhead_flops: float = 0.0
+    runtime_overhead_flops_gpu: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.flops_per_elem < 0 or self.bytes_per_elem < 0:
+            raise ValidationError("flops/bytes per element must be >= 0")
+        if self.flops_per_elem == 0 and self.bytes_per_elem == 0:
+            raise ValidationError(f"WorkModel {self.name!r} describes no work at all")
+        for attr in (
+            "cpu_efficiency",
+            "gpu_efficiency",
+            "cpu_mem_efficiency",
+            "gpu_mem_efficiency",
+        ):
+            v = getattr(self, attr)
+            if not 0 < v <= 1:
+                raise ValidationError(f"WorkModel.{attr} must be in (0, 1], got {v}")
+        if self.atomics_per_elem < 0:
+            raise ValidationError("atomics_per_elem must be >= 0")
+        if self.atomics_per_elem > 0 and not self.num_reduction_keys:
+            raise ValidationError(
+                f"WorkModel {self.name!r} performs atomics but num_reduction_keys is unset"
+            )
+        if self.transfer_bytes_per_elem < 0 or self.runtime_overhead_flops < 0:
+            raise ValidationError("transfer/overhead terms must be >= 0")
+        if self.runtime_overhead_flops_gpu is not None and self.runtime_overhead_flops_gpu < 0:
+            raise ValidationError("runtime_overhead_flops_gpu must be >= 0")
+
+    @property
+    def gpu_overhead_flops(self) -> float:
+        """The GPU-side framework overhead (falls back to the CPU value)."""
+        if self.runtime_overhead_flops_gpu is not None:
+            return self.runtime_overhead_flops_gpu
+        return self.runtime_overhead_flops
+
+    def replace(self, **changes) -> "WorkModel":
+        """A copy with some fields changed (e.g. efficiency ablations)."""
+        return dataclasses.replace(self, **changes)
+
+
+def scaled(functional_elems: int, model_elems: int | None) -> float:
+    """Time-scale factor mapping functional element counts to modeled ones.
+
+    Benchmarks run the *math* on scaled-down arrays but charge the cost
+    model for the paper's workload sizes; this returns the multiplier.
+
+    >>> scaled(1000, 100000)
+    100.0
+    >>> scaled(1000, None)
+    1.0
+    """
+    if functional_elems <= 0:
+        raise ValidationError(f"functional_elems must be > 0, got {functional_elems}")
+    if model_elems is None:
+        return 1.0
+    if model_elems < functional_elems:
+        raise ValidationError(
+            f"model_elems ({model_elems}) must be >= functional_elems ({functional_elems})"
+        )
+    return model_elems / functional_elems

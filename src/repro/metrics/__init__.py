@@ -1,0 +1,21 @@
+"""Experiment harness: figure/table computation, code size, reporting.
+
+:mod:`repro.metrics.figures` contains one driver per paper artifact
+(Fig. 5, Fig. 6, Table II, Fig. 7, Fig. 8 plus the §IV-C text numbers);
+each returns structured rows that the benchmark suite prints and that
+``examples/generate_experiments_md.py`` renders into EXPERIMENTS.md.
+"""
+
+from repro.metrics.codesize import count_logical_lines, code_size_table
+from repro.metrics.reporting import format_table
+from repro.metrics.ascii_chart import fig5_chart, render_chart
+from repro.metrics import figures
+
+__all__ = [
+    "count_logical_lines",
+    "code_size_table",
+    "format_table",
+    "fig5_chart",
+    "render_chart",
+    "figures",
+]

@@ -1,0 +1,111 @@
+"""Terminal line charts for benchmark series (Fig. 5-style curves).
+
+The environment this reproduction targets has no display; these render
+log-log speedup curves as monospace charts so the figure *shapes* (who
+wins, where curves cross, how scaling bends) are visible in CI output and
+EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.util.errors import ValidationError
+
+_MARKERS = "ox+*#@%&"
+
+
+def render_chart(
+    series: dict[str, list[tuple[float, float]]],
+    *,
+    width: int = 64,
+    height: int = 18,
+    logx: bool = True,
+    logy: bool = True,
+    title: str = "",
+    xlabel: str = "",
+    ylabel: str = "",
+) -> str:
+    """Render named (x, y) series as an ASCII chart.
+
+    >>> print(render_chart({"a": [(1, 1), (2, 2)]}, width=20, height=5,
+    ...                    title="t"))  # doctest: +SKIP
+    """
+    if not series or all(not pts for pts in series.values()):
+        raise ValidationError("render_chart needs at least one non-empty series")
+    if width < 16 or height < 4:
+        raise ValidationError("chart too small to be legible")
+
+    def tx(v: float) -> float:
+        if logx:
+            if v <= 0:
+                raise ValidationError("log-x chart requires positive x values")
+            return math.log10(v)
+        return v
+
+    def ty(v: float) -> float:
+        if logy:
+            if v <= 0:
+                raise ValidationError("log-y chart requires positive y values")
+            return math.log10(v)
+        return v
+
+    xs = [tx(x) for pts in series.values() for x, _ in pts]
+    ys = [ty(y) for pts in series.values() for _, y in pts]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+
+    canvas = [[" "] * width for _ in range(height)]
+    for (name, pts), marker in zip(series.items(), _MARKERS):
+        for x, y in pts:
+            col = int(round((tx(x) - x_lo) / x_span * (width - 1)))
+            row = int(round((ty(y) - y_lo) / y_span * (height - 1)))
+            canvas[height - 1 - row][col] = marker
+
+    raw_lo = 10**y_lo if logy else y_lo
+    raw_hi = 10**y_hi if logy else y_hi
+    lines = []
+    if title:
+        lines.append(title)
+    for i, row in enumerate(canvas):
+        label = ""
+        if i == 0:
+            label = f"{raw_hi:.3g}"
+        elif i == height - 1:
+            label = f"{raw_lo:.3g}"
+        lines.append(f"{label:>8} |" + "".join(row))
+    lines.append(" " * 9 + "+" + "-" * width)
+    x_raw_lo = 10**x_lo if logx else x_lo
+    x_raw_hi = 10**x_hi if logx else x_hi
+    footer = f"{x_raw_lo:.3g}".ljust(width // 2) + f"{x_raw_hi:.3g}".rjust(width // 2)
+    lines.append(" " * 10 + footer)
+    if xlabel or ylabel:
+        lines.append(" " * 10 + f"x: {xlabel}   y: {ylabel}".strip())
+    legend = "   ".join(
+        f"{marker}={name}" for (name, _), marker in zip(series.items(), _MARKERS)
+    )
+    lines.append(" " * 10 + legend)
+    return "\n".join(lines)
+
+
+def fig5_chart(rows: list[dict], app: str, *, width: int = 64, height: int = 16) -> str:
+    """Fig. 5 sub-plot for one app: speedup-vs-nodes per device mix."""
+    series: dict[str, list[tuple[float, float]]] = {}
+    for row in rows:
+        if row["app"] != app:
+            continue
+        series.setdefault(row["mix"], []).append((row["nodes"], row["speedup"]))
+    if not series:
+        raise ValidationError(f"no rows for app {app!r}")
+    for pts in series.values():
+        pts.sort()
+    return render_chart(
+        series,
+        width=width,
+        height=height,
+        title=f"Fig. 5 — {app}: speedup over 1 CPU core (log-log)",
+        xlabel="nodes",
+        ylabel="speedup",
+    )

@@ -1,0 +1,194 @@
+"""SPMD execution engine: one Python thread per simulated MPI rank.
+
+:func:`spmd_run` launches ``fn(ctx)`` on every rank, where ``ctx`` is a
+:class:`RankContext` carrying the rank's virtual clock, communicator, node
+spec, and (optionally) devices built by a caller-supplied factory.  Rank
+threads synchronize only through the message fabric, so virtual time is
+deterministic for deterministic programs (no wildcard-source races).
+
+Failure handling: the first rank to raise poisons the fabric, which wakes
+every sibling blocked in a receive; the original exception is re-raised to
+the caller with the failing rank attached.  A wall-clock watchdog converts
+genuine deadlocks into :class:`~repro.util.errors.DeadlockError` instead of
+hanging the test suite.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Callable, Sequence
+
+from repro.cluster.specs import ClusterSpec, NodeSpec
+from repro.comm.communicator import SimComm
+from repro.comm.fabric import Fabric
+from repro.sim.clock import VirtualClock
+from repro.sim.trace import Trace
+from repro.util.errors import CommunicationError, DeadlockError, ValidationError
+
+DeviceFactory = Callable[["RankContext"], Sequence[Any]]
+
+
+@dataclass
+class RankContext:
+    """Everything one simulated process needs, bundled for ``fn(ctx)``."""
+
+    rank: int
+    size: int
+    node_index: int
+    node: NodeSpec
+    cluster: ClusterSpec
+    clock: VirtualClock
+    comm: SimComm
+    trace: Trace
+    devices: list[Any] = field(default_factory=list)
+
+    @property
+    def now(self) -> float:
+        """Current virtual time on this rank."""
+        return self.clock.now
+
+
+@dataclass
+class SpmdResult:
+    """Outcome of one SPMD run."""
+
+    values: list[Any]
+    times: list[float]
+    traces: list[Trace]
+
+    @property
+    def makespan(self) -> float:
+        """Virtual completion time of the slowest rank — *the* reported time."""
+        return max(self.times) if self.times else 0.0
+
+    @property
+    def nranks(self) -> int:
+        return len(self.values)
+
+
+class _RankFailure(Exception):
+    """Internal wrapper recording which rank raised."""
+
+    def __init__(self, rank: int, exc: BaseException) -> None:
+        super().__init__(f"rank {rank} raised {type(exc).__name__}: {exc}")
+        self.rank = rank
+        self.exc = exc
+
+
+def spmd_run(
+    fn: Callable[..., Any],
+    cluster: ClusterSpec,
+    *,
+    ranks_per_node: int = 1,
+    args: tuple = (),
+    kwargs: dict | None = None,
+    trace: bool = False,
+    device_factory: DeviceFactory | None = None,
+    recv_timeout: float = 120.0,
+    wall_timeout: float = 600.0,
+) -> SpmdResult:
+    """Run ``fn(ctx, *args, **kwargs)`` on every rank of ``cluster``.
+
+    Args:
+        fn: The per-rank program.  Its return value is collected per rank.
+        cluster: Hardware description; rank count is
+            ``cluster.num_nodes * ranks_per_node``.
+        ranks_per_node: 1 for the framework's process-per-node model; the
+            paper's hand-written MPI baselines use one rank per core.
+        args, kwargs: Extra arguments forwarded to every rank.
+        trace: Enable per-rank event tracing (small overhead).
+        device_factory: Optional callable building the rank's device list
+            (used by :class:`repro.core.env.RuntimeEnv`); it runs inside the
+            rank thread after clock/comm are wired.
+        recv_timeout: Wall-clock seconds a single receive may block.
+        wall_timeout: Wall-clock seconds for the whole run.
+
+    Returns:
+        :class:`SpmdResult` with per-rank return values, final virtual
+        clocks, and traces.
+
+    Raises:
+        The first per-rank exception (sibling ranks are woken and drained),
+        or :class:`DeadlockError` if ranks block past the watchdog.
+    """
+    if kwargs is None:
+        kwargs = {}
+    nranks = cluster.num_nodes * ranks_per_node
+    if nranks <= 0:
+        raise ValidationError("cluster must yield at least one rank")
+
+    fabric = Fabric(cluster, ranks_per_node=ranks_per_node)
+    values: list[Any] = [None] * nranks
+    times: list[float] = [0.0] * nranks
+    traces: list[Trace] = [Trace(r, enabled=trace) for r in range(nranks)]
+    failures: list[_RankFailure] = []
+    failure_lock = threading.Lock()
+
+    def rank_main(rank: int) -> None:
+        clock = VirtualClock()
+        comm = SimComm(fabric, rank, clock, trace=traces[rank], recv_timeout=recv_timeout)
+        ctx = RankContext(
+            rank=rank,
+            size=nranks,
+            node_index=fabric.node_of(rank),
+            node=cluster.node,
+            cluster=cluster,
+            clock=clock,
+            comm=comm,
+            trace=traces[rank],
+        )
+        try:
+            if device_factory is not None:
+                ctx.devices = list(device_factory(ctx))
+            values[rank] = fn(ctx, *args, **kwargs)
+            times[rank] = clock.now
+        except CommunicationError as exc:
+            with failure_lock:
+                if fabric._abort_exc is not None and fabric._abort_exc is not exc:
+                    # Merely woken by another rank's abort: record a marker
+                    # only if nothing else has been recorded.
+                    if not failures:
+                        failures.append(
+                            _RankFailure(rank, DeadlockError(f"rank {rank} stuck"))
+                        )
+                else:
+                    # A genuine communication error in this rank's program.
+                    failures.append(_RankFailure(rank, exc))
+                    fabric.abort(exc)
+        except BaseException as exc:  # noqa: BLE001 - must not lose rank errors
+            with failure_lock:
+                failures.append(_RankFailure(rank, exc))
+            fabric.abort(exc)
+
+    if nranks == 1:
+        # Fast path: run inline (keeps single-rank tests easy to debug).
+        rank_main(0)
+    else:
+        threads = [
+            threading.Thread(target=rank_main, args=(r,), name=f"rank-{r}", daemon=True)
+            for r in range(nranks)
+        ]
+        for t in threads:
+            t.start()
+        deadline = wall_timeout
+        for t in threads:
+            t.join(timeout=deadline)
+            if t.is_alive():
+                fabric.abort(DeadlockError("wall timeout"))
+                for t2 in threads:
+                    t2.join(timeout=5.0)
+                raise DeadlockError(
+                    f"SPMD run exceeded wall timeout of {wall_timeout}s; "
+                    f"still-running ranks: "
+                    f"{[th.name for th in threads if th.is_alive()]}"
+                )
+
+    if failures:
+        # Prefer a genuine exception over "stuck" markers from sibling
+        # ranks that were merely woken by the fabric abort.
+        real = [f for f in failures if not isinstance(f.exc, DeadlockError)]
+        first = min(real or failures, key=lambda f: f.rank)
+        raise first.exc
+
+    return SpmdResult(values=values, times=times, traces=traces)

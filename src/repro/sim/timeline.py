@@ -1,0 +1,89 @@
+"""Busy-interval timeline for one execution resource.
+
+A :class:`Timeline` models a serially-executing resource: one CPU core, one
+GPU compute engine, one GPU copy engine, or one network injection port.
+Scheduling an item at ready-time ``t`` places it at ``max(t, available_at)``
+— i.e. classic list scheduling — and the resulting start/finish times are
+what make load imbalance and pipelining *emerge* rather than being assumed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util.errors import ValidationError
+
+
+@dataclass(frozen=True)
+class Interval:
+    """One scheduled busy interval."""
+
+    start: float
+    end: float
+    label: str
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+class Timeline:
+    """Append-only schedule of busy intervals on one resource."""
+
+    __slots__ = ("name", "_available_at", "_intervals", "_busy")
+
+    def __init__(self, name: str, start: float = 0.0) -> None:
+        self.name = name
+        self._available_at = float(start)
+        self._intervals: list[Interval] = []
+        self._busy = 0.0
+
+    @property
+    def available_at(self) -> float:
+        """Earliest time a new item could start."""
+        return self._available_at
+
+    @property
+    def busy_time(self) -> float:
+        """Total scheduled busy seconds."""
+        return self._busy
+
+    @property
+    def intervals(self) -> tuple[Interval, ...]:
+        return tuple(self._intervals)
+
+    def schedule(self, ready: float, duration: float, label: str = "") -> Interval:
+        """Schedule an item that becomes ready at ``ready`` for ``duration``.
+
+        Returns the placed interval; the item starts at
+        ``max(ready, available_at)`` and the resource is then busy until its
+        end.
+        """
+        if duration < 0:
+            raise ValidationError(f"duration must be >= 0, got {duration}")
+        if ready < 0:
+            raise ValidationError(f"ready time must be >= 0, got {ready}")
+        start = max(ready, self._available_at)
+        interval = Interval(start=start, end=start + duration, label=label)
+        self._intervals.append(interval)
+        self._available_at = interval.end
+        self._busy += duration
+        return interval
+
+    def idle_time(self, horizon: float | None = None) -> float:
+        """Idle seconds up to ``horizon`` (default: last finish time)."""
+        end = self._available_at if horizon is None else horizon
+        return max(0.0, end - self._busy)
+
+    def utilization(self, horizon: float | None = None) -> float:
+        """Busy fraction in ``[0, horizon]`` (0.0 for an empty timeline)."""
+        end = self._available_at if horizon is None else horizon
+        if end <= 0:
+            return 0.0
+        return min(1.0, self._busy / end)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"Timeline({self.name!r}, items={len(self._intervals)}, "
+            f"available_at={self._available_at:.6f})"
+        )

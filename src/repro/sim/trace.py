@@ -1,0 +1,113 @@
+"""Event tracing for behavioural verification.
+
+Runtimes record *what happened when* (in virtual time) into a
+:class:`Trace`: compute spans, communication spans, transfers, combines.
+Tests use traces to assert structural properties the paper claims — e.g.
+that with overlapped execution the local-edge compute span genuinely
+overlaps the node-data exchange span, or that a tree combine has
+``ceil(log2 n)`` rounds — rather than only checking final timings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Iterator
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One traced span of virtual time on one rank."""
+
+    rank: int
+    category: str
+    label: str
+    start: float
+    end: float
+    meta: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+def overlap_seconds(a: TraceEvent, b: TraceEvent) -> float:
+    """Length of the temporal intersection of two events (0 if disjoint)."""
+    return max(0.0, min(a.end, b.end) - max(a.start, b.start))
+
+
+class Trace:
+    """A per-rank collection of :class:`TraceEvent`, cheap when disabled."""
+
+    __slots__ = ("rank", "enabled", "_events")
+
+    def __init__(self, rank: int, enabled: bool = True) -> None:
+        self.rank = rank
+        self.enabled = enabled
+        self._events: list[TraceEvent] = []
+
+    def record(
+        self,
+        category: str,
+        label: str,
+        start: float,
+        end: float,
+        **meta: Any,
+    ) -> None:
+        """Record a span; no-op when the trace is disabled."""
+        if not self.enabled:
+            return
+        self._events.append(
+            TraceEvent(
+                rank=self.rank,
+                category=category,
+                label=label,
+                start=float(start),
+                end=float(end),
+                meta=meta,
+            )
+        )
+
+    @property
+    def events(self) -> tuple[TraceEvent, ...]:
+        return tuple(self._events)
+
+    def filter(
+        self, category: str | None = None, label_prefix: str | None = None
+    ) -> list[TraceEvent]:
+        """Events matching a category and/or label prefix."""
+        out = []
+        for ev in self._events:
+            if category is not None and ev.category != category:
+                continue
+            if label_prefix is not None and not ev.label.startswith(label_prefix):
+                continue
+            out.append(ev)
+        return out
+
+    def span(self) -> tuple[float, float]:
+        """(earliest start, latest end) across all events; (0, 0) if empty."""
+        if not self._events:
+            return (0.0, 0.0)
+        return (
+            min(ev.start for ev in self._events),
+            max(ev.end for ev in self._events),
+        )
+
+    def total(self, category: str) -> float:
+        """Sum of durations of all events in ``category``."""
+        return sum(ev.duration for ev in self._events if ev.category == category)
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self._events)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+
+def merge_traces(traces: Iterable[Trace]) -> list[TraceEvent]:
+    """All events from several per-rank traces, sorted by start time."""
+    events: list[TraceEvent] = []
+    for tr in traces:
+        events.extend(tr.events)
+    events.sort(key=lambda ev: (ev.start, ev.rank))
+    return events

@@ -1,0 +1,59 @@
+"""Shared utilities: errors, unit helpers, deterministic RNG, validation.
+
+These helpers are deliberately dependency-free (NumPy only) so every other
+subpackage — :mod:`repro.sim`, :mod:`repro.comm`, :mod:`repro.device`,
+:mod:`repro.core` — can use them without import cycles.
+"""
+
+from repro.util.errors import (
+    ReproError,
+    ConfigurationError,
+    CommunicationError,
+    DeadlockError,
+    SchedulingError,
+    ValidationError,
+)
+from repro.util.units import (
+    KB,
+    MB,
+    GB,
+    US,
+    MS,
+    GFLOPS,
+    fmt_bytes,
+    fmt_seconds,
+    fmt_count,
+)
+from repro.util.rng import seeded_rng, derive_seed
+from repro.util.validate import (
+    check_positive,
+    check_non_negative,
+    check_in_range,
+    check_type,
+    check_shape,
+)
+
+__all__ = [
+    "ReproError",
+    "ConfigurationError",
+    "CommunicationError",
+    "DeadlockError",
+    "SchedulingError",
+    "ValidationError",
+    "KB",
+    "MB",
+    "GB",
+    "US",
+    "MS",
+    "GFLOPS",
+    "fmt_bytes",
+    "fmt_seconds",
+    "fmt_count",
+    "seeded_rng",
+    "derive_seed",
+    "check_positive",
+    "check_non_negative",
+    "check_in_range",
+    "check_type",
+    "check_shape",
+]

@@ -1,0 +1,44 @@
+"""Exception hierarchy for the framework.
+
+Every exception raised intentionally by this library derives from
+:class:`ReproError`, so callers can catch framework failures without
+swallowing genuine programming errors (``TypeError`` etc. still surface).
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro framework."""
+
+
+class ConfigurationError(ReproError):
+    """A runtime, device, or cluster was configured inconsistently.
+
+    Raised eagerly at setup time (e.g., a stencil runtime asked to decompose
+    a 2-D grid over a 3-D process topology) so that misconfiguration never
+    manifests as silently wrong results mid-run.
+    """
+
+
+class ValidationError(ReproError):
+    """An argument failed validation (wrong range, shape, or type)."""
+
+
+class CommunicationError(ReproError):
+    """A message-passing operation failed or was used incorrectly.
+
+    Examples: receiving with a mismatched buffer dtype, a collective invoked
+    by only a subset of ranks (detected via watchdog timeout), or sending to
+    a rank outside the communicator.
+    """
+
+
+class SchedulingError(ReproError):
+    """The work scheduler was driven into an impossible state.
+
+    Examples: scheduling a chunk on a device that was never registered, or
+    an adaptive repartition that assigns zero work to every device.
+    """
+
+
+class DeadlockError(CommunicationError):
+    """The SPMD watchdog concluded that ranks are mutually blocked."""

@@ -1,0 +1,69 @@
+"""Unit constants and human-readable formatting.
+
+All simulator-internal quantities use SI base units: seconds for time,
+bytes for sizes, FLOP/s for compute rates.  The constants below convert the
+conventional HPC units (GB/s, microseconds, GFLOP/s) into base units so
+that hardware specs read naturally::
+
+    pcie_bandwidth = 8 * GB          # bytes/second
+    network_latency = 2 * US         # seconds
+    peak = 515 * GFLOPS              # FLOP/s
+"""
+
+from __future__ import annotations
+
+# Sizes (bytes).  Powers of ten, matching vendor datasheets for bandwidths;
+# shared-memory capacities use KiB explicitly where it matters.
+KB = 1_000
+MB = 1_000_000
+GB = 1_000_000_000
+KIB = 1_024
+MIB = 1_048_576
+
+# Times (seconds).
+US = 1e-6
+MS = 1e-3
+
+# Rates.
+GFLOPS = 1e9
+TFLOPS = 1e12
+
+
+def fmt_bytes(n: float) -> str:
+    """Format a byte count with a binary-ish magnitude suffix.
+
+    >>> fmt_bytes(2_300_000_000)
+    '2.30 GB'
+    """
+    n = float(n)
+    for unit, div in (("GB", GB), ("MB", MB), ("KB", KB)):
+        if abs(n) >= div:
+            return f"{n / div:.2f} {unit}"
+    return f"{n:.0f} B"
+
+
+def fmt_seconds(t: float) -> str:
+    """Format a duration, choosing s/ms/us to keep 3 significant digits.
+
+    >>> fmt_seconds(0.00123)
+    '1.230 ms'
+    """
+    t = float(t)
+    if abs(t) >= 1.0:
+        return f"{t:.3f} s"
+    if abs(t) >= MS:
+        return f"{t / MS:.3f} ms"
+    return f"{t / US:.3f} us"
+
+
+def fmt_count(n: float) -> str:
+    """Format a large count with K/M/B suffixes.
+
+    >>> fmt_count(130_000_000)
+    '130.0M'
+    """
+    n = float(n)
+    for suffix, div in (("B", 1e9), ("M", 1e6), ("K", 1e3)):
+        if abs(n) >= div:
+            return f"{n / div:.1f}{suffix}"
+    return f"{n:.0f}"

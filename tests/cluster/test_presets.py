@@ -1,0 +1,38 @@
+"""Cluster presets (the paper's platform)."""
+
+import pytest
+
+from repro.cluster.presets import laptop_cluster, nvidia_m2070, ohio_cluster
+from repro.util.units import GB, KIB
+
+
+def test_ohio_cluster_matches_paper_platform():
+    cluster = ohio_cluster()
+    assert cluster.num_nodes == 32
+    assert cluster.node.cpu.cores == 12
+    assert cluster.node.num_gpus == 2
+    assert cluster.total_gpus == 64
+    assert cluster.node.memory == pytest.approx(47 * GB)
+    assert cluster.node.gpus[0].device_mem == pytest.approx(6 * GB)
+
+
+def test_ohio_cluster_scalable():
+    assert ohio_cluster(4).num_nodes == 4
+    assert ohio_cluster(1, gpus_per_node=1).node.num_gpus == 1
+    assert ohio_cluster(1, gpus_per_node=0).node.num_gpus == 0
+
+
+def test_m2070_shared_memory_is_fermi_48k():
+    assert nvidia_m2070().shared_mem_per_sm == 48 * KIB
+
+
+def test_m2070_atomics_gap():
+    gpu = nvidia_m2070()
+    assert gpu.shared_atomic_cost < gpu.atomic_cost / 5
+
+
+def test_laptop_cluster_shapes():
+    c = laptop_cluster(num_nodes=3, cores=2, gpus_per_node=2)
+    assert c.num_nodes == 3
+    assert c.node.cpu.cores == 2
+    assert c.node.num_gpus == 2

@@ -1,0 +1,99 @@
+"""Fabric mailbox matching and link selection."""
+
+import pytest
+
+from repro.cluster.presets import laptop_cluster
+from repro.comm.constants import ANY_SOURCE, ANY_TAG
+from repro.comm.fabric import Fabric, Message
+from repro.comm.payload import make_payload
+from repro.util.errors import CommunicationError, DeadlockError, ValidationError
+
+
+def _msg(src, dst, tag, arrival=1.0, wire=0.0):
+    return Message(
+        src=src,
+        dst=dst,
+        tag=tag,
+        payload=make_payload(None),
+        send_time=0.0,
+        arrival_time=arrival,
+        wire_duration=wire,
+    )
+
+
+@pytest.fixture
+def fabric():
+    return Fabric(laptop_cluster(num_nodes=2), ranks_per_node=2)
+
+
+def test_node_of_and_link(fabric):
+    assert fabric.node_of(0) == 0
+    assert fabric.node_of(3) == 1
+    assert fabric.link(0, 1).name == "shared-memory"
+    assert fabric.link(0, 2).name == "test-net"
+    with pytest.raises(ValidationError):
+        fabric.node_of(4)
+
+
+def test_match_by_source_and_tag(fabric):
+    fabric.post(_msg(0, 1, tag=7))
+    fabric.post(_msg(2, 1, tag=7))
+    got = fabric.match(1, source=2, tag=7, timeout=1.0)
+    assert got.src == 2
+    got = fabric.match(1, source=ANY_SOURCE, tag=ANY_TAG, timeout=1.0)
+    assert got.src == 0
+
+
+def test_fifo_per_source_tag(fabric):
+    first = _msg(0, 1, tag=3, arrival=9.0)
+    second = _msg(0, 1, tag=3, arrival=1.0)  # arrives earlier but sent later
+    fabric.post(first)
+    fabric.post(second)
+    assert fabric.match(1, 0, 3, timeout=1.0) is first
+    assert fabric.match(1, 0, 3, timeout=1.0) is second
+
+
+def test_match_timeout_raises_deadlock(fabric):
+    with pytest.raises(DeadlockError):
+        fabric.match(0, source=1, tag=1, timeout=0.05)
+
+
+def test_probe_and_pending(fabric):
+    assert not fabric.probe(1)
+    fabric.post(_msg(0, 1, tag=2))
+    assert fabric.probe(1)
+    assert fabric.probe(1, source=0, tag=2)
+    assert not fabric.probe(1, source=2)
+    assert fabric.pending_count(1) == 1
+
+
+def test_abort_poisons_fabric(fabric):
+    fabric.abort(RuntimeError("x"))
+    with pytest.raises(CommunicationError):
+        fabric.post(_msg(0, 1, tag=1))
+    with pytest.raises(CommunicationError):
+        fabric.match(1, timeout=1.0)
+
+
+def test_ingress_serializes_concurrent_arrivals(fabric):
+    # Two messages whose wires overlap in time: the second's delivery must
+    # be pushed back behind the first on the receiver NIC.
+    fabric.post(_msg(0, 1, tag=1, arrival=1.0, wire=1.0))
+    fabric.post(_msg(2, 1, tag=1, arrival=1.0, wire=1.0))
+    a = fabric.match(1, 0, 1, timeout=1.0)
+    b = fabric.match(1, 2, 1, timeout=1.0)
+    assert a.arrival_time == pytest.approx(1.0)
+    assert b.arrival_time == pytest.approx(2.0)
+
+
+def test_inject_serializes_sender(fabric):
+    link = fabric.link(0, 2)
+    start1, wire1 = fabric.inject(0, 0.0, link.bandwidth, link)  # 1 second of bytes
+    start2, wire2 = fabric.inject(0, 0.0, link.bandwidth, link)
+    assert (start1, wire1) == (0.0, pytest.approx(1.0))
+    assert start2 == pytest.approx(1.0)
+
+
+def test_ranks_per_node_validation():
+    with pytest.raises(ValidationError):
+        Fabric(laptop_cluster(num_nodes=1), ranks_per_node=0)

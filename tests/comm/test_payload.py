@@ -1,0 +1,62 @@
+"""Payload snapshot semantics."""
+
+import numpy as np
+import pytest
+
+from repro.comm.payload import make_payload
+
+
+def test_array_payload_snapshots_sender_buffer():
+    buf = np.arange(5.0)
+    payload = make_payload(buf)
+    buf[:] = -1  # sender reuses its buffer immediately (buffered eager)
+    np.testing.assert_array_equal(payload.deliver(), np.arange(5.0))
+
+
+def test_array_nbytes():
+    assert make_payload(np.zeros(10, dtype=np.float64)).nbytes == 80
+    assert make_payload(np.zeros((2, 3), dtype=np.float32)).nbytes == 24
+
+
+def test_deliver_returns_fresh_copy_each_time():
+    payload = make_payload(np.arange(3.0))
+    a = payload.deliver()
+    a[:] = 99
+    np.testing.assert_array_equal(payload.deliver(), np.arange(3.0))
+
+
+def test_deliver_into_out_buffer():
+    payload = make_payload(np.arange(6.0).reshape(2, 3))
+    out = np.zeros(6)
+    got = payload.deliver(out)
+    assert got is out
+    np.testing.assert_array_equal(out, np.arange(6.0))
+
+
+def test_deliver_out_shape_mismatch():
+    payload = make_payload(np.arange(6.0))
+    with pytest.raises(ValueError, match="elements"):
+        payload.deliver(np.zeros(5))
+
+
+def test_object_payload_deep_copied():
+    obj = {"a": [1, 2, 3]}
+    payload = make_payload(obj)
+    obj["a"].append(4)
+    assert payload.deliver() == {"a": [1, 2, 3]}
+
+
+def test_object_into_array_buffer_rejected():
+    payload = make_payload({"x": 1})
+    with pytest.raises(TypeError):
+        payload.deliver(np.zeros(1))
+
+
+def test_scalar_payload():
+    payload = make_payload(3.5)
+    assert payload.deliver() == 3.5
+    assert payload.nbytes == 8
+
+
+def test_none_payload():
+    assert make_payload(None).deliver() is None

@@ -1,0 +1,78 @@
+"""Non-blocking request handles (test/wait semantics)."""
+
+import numpy as np
+
+from repro.comm.constants import PROC_NULL
+from tests.conftest import run_spmd
+
+
+def test_send_request_always_complete():
+    def prog(ctx):
+        if ctx.rank == 0:
+            req = ctx.comm.isend(np.ones(3), 1, tag=0)
+            return req.test(), req.wait()
+        ctx.comm.recv(source=0, tag=0)
+        return None
+
+    done, value = run_spmd(prog, nodes=2).values[0]
+    assert done is True and value is None
+
+
+def test_recv_request_test_reflects_arrival():
+    def prog(ctx):
+        if ctx.rank == 0:
+            req = ctx.comm.irecv(source=1, tag=3)
+            # Handshake: rank 1 confirms it has sent before we test().
+            ctx.comm.recv(source=1, tag=4)
+            ready_after = req.test()
+            value = req.wait()
+            done_after_wait = req.test()
+            return ready_after, float(value[0]), done_after_wait
+        ctx.comm.send(np.array([7.5]), 0, tag=3)
+        ctx.comm.send("sent", 0, tag=4)
+        return None
+
+    ready_after, value, done = run_spmd(prog, nodes=2).values[0]
+    assert ready_after is True
+    assert value == 7.5
+    assert done is True
+
+
+def test_recv_request_test_false_before_send():
+    def prog(ctx):
+        if ctx.rank == 0:
+            req = ctx.comm.irecv(source=1, tag=9)
+            early = req.test()
+            ctx.comm.send("go", 1, tag=1)  # release the sender
+            value = req.wait()
+            return early, value
+        ctx.comm.recv(source=0, tag=1)  # wait until rank 0 has probed
+        ctx.comm.send("late", 0, tag=9)
+        return None
+
+    early, value = run_spmd(prog, nodes=2).values[0]
+    assert early is False
+    assert value == "late"
+
+
+def test_proc_null_recv_request():
+    def prog(ctx):
+        req = ctx.comm.irecv(source=PROC_NULL, tag=0)
+        return req.test(), req.wait()
+
+    done, value = run_spmd(prog, nodes=1).values[0]
+    assert done is True and value is None
+
+
+def test_wait_is_idempotent():
+    def prog(ctx):
+        if ctx.rank == 0:
+            req = ctx.comm.irecv(source=1, tag=2)
+            first = req.wait()
+            second = req.wait()  # must not consume another message
+            return first, second
+        ctx.comm.send("only-one", 0, tag=2)
+        return None
+
+    first, second = run_spmd(prog, nodes=2).values[0]
+    assert first == second == "only-one"

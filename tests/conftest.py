@@ -1,0 +1,37 @@
+"""Shared test fixtures and helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster.presets import laptop_cluster, ohio_cluster
+from repro.sim.engine import spmd_run
+
+
+@pytest.fixture
+def cluster2():
+    """A small 2-node test cluster (4 cores + 1 GPU per node)."""
+    return laptop_cluster(num_nodes=2)
+
+
+@pytest.fixture
+def cluster4():
+    """A 4-node test cluster with 2 GPUs per node."""
+    return laptop_cluster(num_nodes=4, gpus_per_node=2)
+
+
+@pytest.fixture
+def ohio1():
+    """One node of the paper's cluster."""
+    return ohio_cluster(1)
+
+
+def run_spmd(fn, nodes=2, gpus_per_node=1, cores=4, **kwargs):
+    """Run ``fn`` over a small laptop cluster and return the SpmdResult."""
+    cluster = laptop_cluster(num_nodes=nodes, cores=cores, gpus_per_node=gpus_per_node)
+    return spmd_run(fn, cluster, **kwargs)
+
+
+def assert_allclose(a, b, **kw):
+    np.testing.assert_allclose(a, b, **kw)

@@ -1,0 +1,89 @@
+"""Adaptive device partitioner (paper SIII-D)."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.adaptive import AdaptivePartitioner
+from repro.util.errors import SchedulingError, ValidationError
+
+
+def test_even_split_before_profiling():
+    p = AdaptivePartitioner(3)
+    assert not p.profiled
+    np.testing.assert_array_equal(p.split(9), [3, 3, 3])
+    np.testing.assert_array_equal(p.split(10), [4, 3, 3])
+
+
+def test_proportional_after_observation():
+    p = AdaptivePartitioner(2)
+    # device 1 processed twice the elements in the same time -> 2x speed.
+    p.observe(np.array([100, 200]), np.array([1.0, 1.0]))
+    assert p.profiled
+    np.testing.assert_array_equal(p.split(30), [10, 20])
+
+
+def test_paper_formula_n_times_si_over_sum():
+    p = AdaptivePartitioner(3)
+    p.observe(np.array([10, 20, 30]), np.array([1.0, 1.0, 1.0]))
+    np.testing.assert_array_equal(p.split(600), [100, 200, 300])
+
+
+@given(st.integers(0, 10_000), st.integers(1, 8))
+def test_split_always_sums_to_total(total, n):
+    p = AdaptivePartitioner(n)
+    counts = p.split(total)
+    assert counts.sum() == total
+    assert (counts >= 0).all()
+
+
+@given(
+    st.integers(1, 10_000),
+    st.lists(st.floats(0.1, 100, allow_nan=False), min_size=2, max_size=6),
+)
+def test_split_proportional_sums_to_total(total, speeds):
+    p = AdaptivePartitioner(len(speeds))
+    p.observe(np.array(speeds) * 10, np.full(len(speeds), 10.0))
+    counts = p.split(total)
+    assert counts.sum() == total
+
+
+def test_idle_device_keeps_previous_speed():
+    p = AdaptivePartitioner(2)
+    p.observe(np.array([100, 300]), np.array([1.0, 1.0]))
+    p.observe(np.array([50, 0]), np.array([1.0, 0.0]))  # device 1 idle this step
+    np.testing.assert_array_equal(p.split(700), [100, 600])
+
+
+def test_idle_device_without_history_gets_mean():
+    p = AdaptivePartitioner(2)
+    p.observe(np.array([100, 0]), np.array([1.0, 0.0]))
+    np.testing.assert_array_equal(p.split(10), [5, 5])
+
+
+def test_observe_validation():
+    p = AdaptivePartitioner(2)
+    with pytest.raises(ValidationError):
+        p.observe(np.array([1.0]), np.array([1.0]))
+    with pytest.raises(ValidationError):
+        p.observe(np.array([1.0, 1.0]), np.array([1.0, -1.0]))
+    with pytest.raises(SchedulingError):
+        p.observe(np.array([0.0, 0.0]), np.array([0.0, 0.0]))
+
+
+def test_constructor_validation():
+    with pytest.raises(ValidationError):
+        AdaptivePartitioner(0)
+    p = AdaptivePartitioner(1)
+    with pytest.raises(ValidationError):
+        p.split(-1)
+
+
+def test_speeds_property_returns_copy():
+    p = AdaptivePartitioner(2)
+    p.observe(np.array([10, 10]), np.array([1.0, 2.0]))
+    s = p.speeds
+    s[0] = 999
+    assert p.speeds[0] != 999
+    assert AdaptivePartitioner(2).speeds is None

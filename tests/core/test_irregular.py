@@ -1,0 +1,231 @@
+"""Irregular-reduction runtime: protocol and numerical correctness."""
+
+import numpy as np
+import pytest
+
+from repro.core.api import IRKernel
+from repro.core.env import RuntimeEnv
+from repro.device.work import WorkModel
+from repro.util.errors import ConfigurationError
+from tests.conftest import run_spmd
+
+N = 120
+WORK = WorkModel(
+    name="ir", flops_per_elem=12, bytes_per_elem=48, cpu_mem_efficiency=0.8,
+    atomics_per_elem=2, num_reduction_keys=N,
+)
+RNG = np.random.default_rng(5)
+_raw = RNG.integers(0, N, size=(900, 2))
+EDGES = np.unique(_raw[_raw[:, 0] != _raw[:, 1]], axis=0)
+WEIGHTS = RNG.random(len(EDGES))
+NODES = RNG.random((N, 2))
+
+
+def _edge_batch(obj, edges, edata, nodes, param):
+    du = nodes[edges[:, 0], 0] - nodes[edges[:, 1], 0]
+    f = edata * du
+    obj.insert_many(edges[:, 0], f)
+    obj.insert_many(edges[:, 1], -f)
+
+
+def _kernel():
+    return IRKernel(edge_compute_batch=_edge_batch, reduce_op="sum", value_width=1, work=WORK)
+
+
+def _reference(nodes=NODES):
+    du = nodes[EDGES[:, 0], 0] - nodes[EDGES[:, 1], 0]
+    f = WEIGHTS * du
+    ref = np.zeros(N)
+    np.add.at(ref, EDGES[:, 0], f)
+    np.add.at(ref, EDGES[:, 1], -f)
+    return ref
+
+
+def _collect(values):
+    got = np.zeros(N)
+    for lo, hi, part in values:
+        got[lo:hi] = part
+    return got
+
+
+def _program(mix="cpu+2gpu", steps=1, **ir_opts):
+    def prog(ctx):
+        env = RuntimeEnv(ctx, mix)
+        ir = env.get_IR(**ir_opts)
+        ir.set_kernel(_kernel())
+        ir.set_mesh(EDGES, NODES, WEIGHTS)
+        for _ in range(steps):
+            ir.start()
+        lo, hi = ir.local_node_range
+        return lo, hi, ir.get_local_reduction()[:, 0]
+
+    return prog
+
+
+@pytest.mark.parametrize("nodes", [1, 2, 3, 4])
+def test_correct_across_rank_counts(nodes):
+    res = run_spmd(_program(), nodes=nodes, gpus_per_node=2)
+    np.testing.assert_allclose(_collect(res.values), _reference(), rtol=1e-12)
+
+
+@pytest.mark.parametrize("mix", ["cpu", "1gpu", "cpu+1gpu", "cpu+2gpu"])
+def test_correct_across_device_mixes(mix):
+    res = run_spmd(_program(mix), nodes=2, gpus_per_node=2)
+    np.testing.assert_allclose(_collect(res.values), _reference(), rtol=1e-12)
+
+
+def test_overlap_off_same_numbers_slower_or_equal_time():
+    on = run_spmd(_program(overlap=True), nodes=4, gpus_per_node=2)
+    off = run_spmd(_program(overlap=False), nodes=4, gpus_per_node=2)
+    np.testing.assert_allclose(_collect(on.values), _collect(off.values), rtol=1e-12)
+    assert off.makespan >= on.makespan * 0.999
+
+
+def test_multiple_steps_without_update_are_idempotent():
+    res = run_spmd(_program(steps=3), nodes=2, gpus_per_node=2)
+    np.testing.assert_allclose(_collect(res.values), _reference(), rtol=1e-12)
+
+
+def test_update_nodedata_propagates_to_remote_copies():
+    """The step-5/6 exchange must refresh remote nodes after an update —
+    functionally, not just in simulated time."""
+
+    def prog(ctx):
+        env = RuntimeEnv(ctx, "cpu")
+        ir = env.get_IR()
+        ir.set_kernel(_kernel())
+        ir.set_mesh(EDGES, NODES, WEIGHTS)
+        ir.start()
+        ir.update_nodedata(ir.get_local_nodes() * 2.0)
+        ir.start()
+        lo, hi = ir.local_node_range
+        return lo, hi, ir.get_local_reduction()[:, 0]
+
+    res = run_spmd(prog, nodes=3)
+    np.testing.assert_allclose(_collect(res.values), _reference(NODES * 2.0), rtol=1e-12)
+
+
+def test_remote_slots_filled_only_by_protocol():
+    """Remote node values start zeroed and must be delivered by messages."""
+
+    def prog(ctx):
+        env = RuntimeEnv(ctx, "cpu")
+        ir = env.get_IR()
+        ir.set_kernel(_kernel())
+        ir.set_mesh(EDGES, NODES, WEIGHTS)
+        arr = ir._arr
+        before = ir._nodes[arr.n_local :].copy()
+        ir.start()
+        after = ir._nodes[arr.n_local :].copy()
+        return len(before), float(np.abs(before).sum()), float(np.abs(after).sum())
+
+    res = run_spmd(prog, nodes=3)
+    for n_remote, before, after in res.values:
+        assert before == 0.0
+        if n_remote:
+            assert after > 0.0
+
+
+def test_get_local_nodes_and_range():
+    def prog(ctx):
+        env = RuntimeEnv(ctx, "cpu")
+        ir = env.get_IR()
+        ir.set_kernel(_kernel())
+        ir.set_mesh(EDGES, NODES, WEIGHTS)
+        lo, hi = ir.local_node_range
+        np.testing.assert_allclose(ir.get_local_nodes(), NODES[lo:hi])
+        return lo, hi
+
+    res = run_spmd(prog, nodes=3)
+    ranges = res.values
+    assert ranges[0][0] == 0 and ranges[-1][1] == N
+    for (a, b), (c, d) in zip(ranges, ranges[1:]):
+        assert b == c
+
+
+def test_update_nodedata_shape_check():
+    def prog(ctx):
+        env = RuntimeEnv(ctx, "cpu")
+        ir = env.get_IR()
+        ir.set_kernel(_kernel())
+        ir.set_mesh(EDGES, NODES, WEIGHTS)
+        ir.update_nodedata(np.zeros((3, 2)))
+
+    with pytest.raises(ConfigurationError, match="shape"):
+        run_spmd(prog, nodes=2)
+
+
+def test_adaptive_repartitions_after_first_step():
+    def prog(ctx):
+        env = RuntimeEnv(ctx, "cpu+1gpu")
+        ir = env.get_IR()
+        ir.set_kernel(_kernel())
+        ir.set_mesh(EDGES, NODES, WEIGHTS, model_edges=len(EDGES) * 1000)
+        ir.start()
+        first = ir._ranges
+        ir.update_nodedata(ir.get_local_nodes())
+        ir.start()
+        second = ir._ranges
+        return first, second, ir._partitioner.profiled
+
+    first, second, profiled = run_spmd(prog, nodes=1, gpus_per_node=1).values[0]
+    assert profiled
+    assert first != second  # speed-proportional split differs from even
+
+
+def test_adaptive_off_keeps_even_split():
+    def prog(ctx):
+        env = RuntimeEnv(ctx, "cpu+1gpu")
+        ir = env.get_IR(adaptive=False)
+        ir.set_kernel(_kernel())
+        ir.set_mesh(EDGES, NODES, WEIGHTS)
+        ir.start()
+        first = ir._ranges
+        ir.start()
+        return first, ir._ranges
+
+    first, second = run_spmd(prog, nodes=1).values[0]
+    assert first == second
+
+
+def test_reset_mesh_triggers_new_id_exchange():
+    def prog(ctx):
+        env = RuntimeEnv(ctx, "cpu")
+        ir = env.get_IR()
+        ir.set_kernel(_kernel())
+        ir.set_mesh(EDGES, NODES, WEIGHTS)
+        ir.start()
+        r1 = ir.get_local_reduction()[:, 0].copy()
+        # rebuild connectivity with reversed edges (same reduction result)
+        ir.set_mesh(EDGES[:, ::-1].copy(), NODES, -WEIGHTS)
+        ir.start()
+        r2 = ir.get_local_reduction()[:, 0].copy()
+        lo, hi = ir.local_node_range
+        return lo, hi, r1, r2
+
+    res = run_spmd(prog, nodes=2)
+    got1 = np.zeros(N)
+    got2 = np.zeros(N)
+    for lo, hi, r1, r2 in res.values:
+        got1[lo:hi], got2[lo:hi] = r1, r2
+    np.testing.assert_allclose(got1, _reference())
+    # Reversing both the edge direction and the weight sign negates the
+    # antisymmetric accumulation: du flips sign, f = (-w)(-du) = w*du, but
+    # the +f/-f insertions land on swapped endpoints.
+    np.testing.assert_allclose(got2, -_reference())
+
+
+def test_errors_for_missing_configuration():
+    def no_mesh(ctx):
+        RuntimeEnv(ctx, "cpu").get_IR().start()
+
+    with pytest.raises(ConfigurationError, match="set_mesh"):
+        run_spmd(no_mesh, nodes=1)
+
+    def bad_edges(ctx):
+        ir = RuntimeEnv(ctx, "cpu").get_IR()
+        ir.set_kernel(_kernel())
+        ir.set_mesh(np.zeros((4, 3), dtype=int), NODES)
+
+    with pytest.raises(ConfigurationError, match="edges"):
+        run_spmd(bad_edges, nodes=1)

@@ -1,0 +1,143 @@
+"""Reduction-space partitioning and the Fig. 3 node arrangement."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.partition import (
+    arrange_nodes,
+    block_partition,
+    classify_edges,
+    owner_of,
+    partition_counts,
+    split_edges_by_node_ranges,
+)
+from repro.util.errors import ValidationError
+
+
+@given(st.integers(0, 1000), st.integers(1, 40))
+def test_block_partition_covers_and_balances(n, parts):
+    offsets = block_partition(n, parts)
+    assert offsets[0] == 0 and offsets[-1] == n
+    sizes = np.diff(offsets)
+    assert (sizes >= 0).all()
+    assert sizes.max() - sizes.min() <= 1
+    assert (sizes == partition_counts(n, parts)).all()
+
+
+def test_block_partition_exact_example():
+    np.testing.assert_array_equal(block_partition(10, 3), [0, 4, 7, 10])
+
+
+def test_block_partition_validation():
+    with pytest.raises(ValidationError):
+        block_partition(-1, 2)
+    with pytest.raises(ValidationError):
+        block_partition(5, 0)
+
+
+@given(st.integers(1, 500), st.integers(1, 16))
+def test_owner_of_consistent_with_offsets(n, parts):
+    offsets = block_partition(n, parts)
+    ids = np.arange(n)
+    owners = owner_of(offsets, ids)
+    for p in range(parts):
+        lo, hi = offsets[p], offsets[p + 1]
+        assert (owners[lo:hi] == p).all()
+
+
+def test_owner_of_range_check():
+    with pytest.raises(ValidationError):
+        owner_of(block_partition(10, 2), np.array([10]))
+
+
+def test_classify_edges_masks():
+    edges = np.array([[0, 1], [1, 5], [5, 6], [0, 6], [2, 3]])
+    local, cross = classify_edges(edges, 0, 4)
+    np.testing.assert_array_equal(local, [True, False, False, False, True])
+    np.testing.assert_array_equal(cross, [False, True, False, True, False])
+    with pytest.raises(ValidationError):
+        classify_edges(np.zeros((3, 3)), 0, 4)
+
+
+def _random_graph(n, m, seed):
+    rng = np.random.default_rng(seed)
+    edges = rng.integers(0, n, size=(m, 2))
+    edges = edges[edges[:, 0] != edges[:, 1]]
+    return np.unique(edges, axis=0)  # drop duplicates: the count test needs a set
+
+
+@pytest.mark.parametrize("parts", [1, 2, 3, 5])
+def test_cross_edges_assigned_to_both_sides(parts):
+    """Paper: a cross edge appears in exactly the two partitions it spans."""
+    n = 40
+    edges = _random_graph(n, 300, seed=1)
+    offsets = block_partition(n, parts)
+    seen = {}
+    for p in range(parts):
+        _, local, cross = arrange_nodes(edges, offsets, p)
+        for u, v in local:
+            seen[(u, v)] = seen.get((u, v), 0) + 1
+        for u, v in cross:
+            seen[(u, v)] = seen.get((u, v), 0) + 1
+    for (u, v), count in seen.items():
+        same = owner_of(offsets, np.array([u]))[0] == owner_of(offsets, np.array([v]))[0]
+        assert count == (1 if same else 2), f"edge ({u},{v}) seen {count} times"
+    # every edge covered
+    assert len(seen) == len({(u, v) for u, v in map(tuple, edges)})
+
+
+def test_arrangement_layout_local_first_remotes_grouped():
+    """Fig. 3: local nodes in front, remote nodes grouped by owner."""
+    n = 30
+    edges = _random_graph(n, 150, seed=2)
+    offsets = block_partition(n, 3)
+    arr, local, cross = arrange_nodes(edges, offsets, 1)
+    assert arr.lo == offsets[1] and arr.hi == offsets[2]
+    base = arr.n_local
+    for owner in sorted(arr.remote_ids):
+        ids = arr.remote_ids[owner]
+        assert (np.sort(ids) == ids).all()
+        assert arr.remote_offsets[owner] == base
+        base += len(ids)
+        # every remote id really belongs to that owner
+        assert (owner_of(offsets, ids) == owner).all()
+    assert arr.n_slots == base
+
+
+def test_slot_mapping_roundtrip():
+    n = 25
+    edges = _random_graph(n, 120, seed=3)
+    offsets = block_partition(n, 2)
+    arr, local, cross = arrange_nodes(edges, offsets, 0)
+    # local ids map to [0, n_local)
+    slots = arr.slot_of_global(np.arange(arr.lo, arr.hi), n)
+    np.testing.assert_array_equal(slots, np.arange(arr.n_local))
+    # cross-edge endpoints all resolve
+    if len(cross):
+        slots = arr.slot_of_global(cross.reshape(-1), n)
+        assert (slots >= 0).all() and (slots < arr.n_slots).all()
+
+
+def test_slot_mapping_unknown_id_raises():
+    n = 20
+    edges = np.array([[0, 1]])
+    offsets = block_partition(n, 2)
+    arr, _, _ = arrange_nodes(edges, offsets, 0)
+    with pytest.raises(ValidationError):
+        arr.slot_of_global(np.array([15]), n)  # never referenced remote
+
+
+def test_arrange_nodes_bad_part():
+    with pytest.raises(ValidationError):
+        arrange_nodes(np.array([[0, 1]]), block_partition(4, 2), 2)
+
+
+def test_split_edges_by_node_ranges_duplicates_cross_device():
+    edges = np.array([[0, 1], [1, 4], [4, 5], [0, 5]])
+    ranges = [(0, 3), (3, 6)]
+    sets = split_edges_by_node_ranges(edges, ranges)
+    # edge 0 only device 0; edge 2 only device 1; edges 1 and 3 both.
+    np.testing.assert_array_equal(sets[0], [0, 1, 3])
+    np.testing.assert_array_equal(sets[1], [1, 2, 3])

@@ -1,0 +1,164 @@
+"""Reduction objects: the accumulation data structure."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.reduction_object import DenseReductionObject, HashReductionObject
+from repro.util.errors import ValidationError
+
+
+def test_initialized_to_identity():
+    assert (DenseReductionObject(4, 2, "sum").values == 0).all()
+    assert (DenseReductionObject(4, 1, "min").values == np.inf).all()
+    assert (DenseReductionObject(4, 1, "max").values == -np.inf).all()
+    assert (DenseReductionObject(4, 1, "prod").values == 1).all()
+
+
+def test_scalar_insert():
+    obj = DenseReductionObject(3, 1, "sum")
+    obj.insert(1, 5.0)
+    obj.insert(1, 2.0)
+    assert obj.values[1, 0] == 7.0
+    assert obj.n_inserts == 2
+
+
+def test_insert_many_with_duplicate_keys():
+    obj = DenseReductionObject(4, 1, "sum")
+    obj.insert_many(np.array([0, 1, 1, 3, 1]), np.ones(5))
+    np.testing.assert_array_equal(obj.values[:, 0], [1, 3, 0, 1])
+
+
+def test_insert_many_multiwidth():
+    obj = DenseReductionObject(2, 3, "sum")
+    obj.insert_many(np.array([0, 0, 1]), np.arange(9.0).reshape(3, 3))
+    np.testing.assert_array_equal(obj.values[0], [3, 5, 7])
+    np.testing.assert_array_equal(obj.values[1], [6, 7, 8])
+
+
+def test_min_max_ops():
+    obj = DenseReductionObject(2, 1, "min")
+    obj.insert_many(np.array([0, 0, 1]), np.array([5.0, 2.0, -1.0]))
+    np.testing.assert_array_equal(obj.values[:, 0], [2.0, -1.0])
+
+    obj = DenseReductionObject(2, 1, "max")
+    obj.insert_many(np.array([0, 0]), np.array([5.0, 2.0]))
+    assert obj.values[0, 0] == 5.0
+
+
+def test_key_range_filter_drops_outside():
+    obj = DenseReductionObject(3, 1, "sum", key_lo=10)
+    obj.insert_many(np.array([9, 10, 12, 13]), np.ones(4))
+    np.testing.assert_array_equal(obj.values[:, 0], [1, 0, 1])
+    assert obj.n_dropped == 2
+    assert obj.n_inserts == 4
+    obj.insert(5, 1.0)  # scalar path also filters
+    assert obj.n_dropped == 3
+
+
+def test_merge_combines_elementwise():
+    a = DenseReductionObject(3, 1, "sum")
+    b = DenseReductionObject(3, 1, "sum")
+    a.insert_many(np.array([0, 1]), np.array([1.0, 2.0]))
+    b.insert_many(np.array([1, 2]), np.array([10.0, 20.0]))
+    a.merge(b)
+    np.testing.assert_array_equal(a.values[:, 0], [1, 12, 20])
+
+
+def test_merge_requires_matching_config():
+    a = DenseReductionObject(3, 1, "sum")
+    with pytest.raises(ValidationError):
+        a.merge(DenseReductionObject(4, 1, "sum"))
+    with pytest.raises(ValidationError):
+        a.merge(DenseReductionObject(3, 2, "sum"))
+    with pytest.raises(ValidationError):
+        a.merge(DenseReductionObject(3, 1, "min"))
+
+
+def test_spawn_empty_copies_config():
+    obj = DenseReductionObject(5, 2, "min", key_lo=3)
+    clone = obj.spawn_empty()
+    assert (clone.key_lo, clone.key_hi, clone.value_width, clone.op) == (3, 8, 2, "min")
+    assert (clone.values == np.inf).all()
+
+
+def test_values_shape_validation():
+    obj = DenseReductionObject(3, 2, "sum")
+    with pytest.raises(ValidationError):
+        obj.insert_many(np.array([0]), np.ones((1, 3)))
+
+
+def test_invalid_construction():
+    with pytest.raises(ValidationError):
+        DenseReductionObject(0, 1)
+    with pytest.raises(ValidationError):
+        DenseReductionObject(1, 0)
+    with pytest.raises(ValidationError):
+        DenseReductionObject(1, 1, "avg")
+
+
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 7), st.floats(-100, 100, allow_nan=False)), max_size=60
+    ),
+    st.sampled_from(["sum", "min", "max"]),
+)
+def test_insert_many_equals_sequential_inserts(pairs, op):
+    """Batch scatter must equal one-at-a-time insertion (associativity)."""
+    batch = DenseReductionObject(8, 1, op)
+    seq = DenseReductionObject(8, 1, op)
+    if pairs:
+        keys = np.array([k for k, _ in pairs])
+        vals = np.array([v for _, v in pairs])
+        batch.insert_many(keys, vals)
+        for k, v in pairs:
+            seq.insert(k, v)
+    np.testing.assert_allclose(batch.values, seq.values, rtol=1e-12)
+
+
+@given(
+    st.lists(st.tuples(st.integers(0, 5), st.floats(-10, 10, allow_nan=False)), max_size=40)
+)
+def test_hash_object_matches_dense(pairs):
+    """The hash-table variant is a semantic oracle for the dense one."""
+    dense = DenseReductionObject(6, 1, "sum")
+    hashed = HashReductionObject("sum", 1)
+    for k, v in pairs:
+        dense.insert(k, v)
+        hashed.insert(k, v)
+    for k in range(6):
+        expect = dense.values[k, 0]
+        got = hashed.get(k)
+        if got is None:
+            assert expect == 0.0
+        else:
+            assert got[0] == pytest.approx(expect, rel=1e-9, abs=1e-9)
+
+
+def test_hash_object_arbitrary_keys():
+    obj = HashReductionObject("max", 1)
+    obj.insert(("word", 3), 5.0)
+    obj.insert(("word", 3), 9.0)
+    assert obj.get(("word", 3))[0] == 9.0
+    assert ("word", 3) in obj
+    assert len(obj) == 1
+    assert obj.get("missing") is None
+
+
+def test_hash_object_merge():
+    a, b = HashReductionObject("sum", 1), HashReductionObject("sum", 1)
+    a.insert("x", 1.0)
+    b.insert("x", 2.0)
+    b.insert("y", 3.0)
+    a.merge(b)
+    assert a.get("x")[0] == 3.0
+    assert a.get("y")[0] == 3.0
+    with pytest.raises(ValidationError):
+        a.merge(HashReductionObject("min", 1))
+
+
+def test_hash_object_insert_many():
+    obj = HashReductionObject("sum", 2)
+    obj.insert_many(["a", "b", "a"], np.arange(6.0).reshape(3, 2))
+    np.testing.assert_array_equal(obj.get("a"), [4.0, 6.0])

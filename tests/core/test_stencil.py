@@ -1,0 +1,190 @@
+"""Stencil runtime: decomposition, halo exchange, and device splitting."""
+
+import numpy as np
+import pytest
+
+from repro.core.api import StencilKernel, shifted
+from repro.core.env import RuntimeEnv
+from repro.device.work import WorkModel
+from repro.util.errors import ConfigurationError
+from tests.conftest import run_spmd
+
+WORK = WorkModel(name="st", flops_per_elem=8, bytes_per_elem=32)
+GRID2D = np.random.default_rng(3).random((28, 24))
+GRID3D = np.random.default_rng(4).random((16, 14, 12))
+
+
+def _avg2d(src, dst, region, param):
+    dst[region] = 0.25 * (
+        shifted(src, region, (1, 0)) + shifted(src, region, (-1, 0))
+        + shifted(src, region, (0, 1)) + shifted(src, region, (0, -1))
+    )
+
+
+def _avg3d(src, dst, region, param):
+    dst[region] = (
+        shifted(src, region, (1, 0, 0)) + shifted(src, region, (-1, 0, 0))
+        + shifted(src, region, (0, 1, 0)) + shifted(src, region, (0, -1, 0))
+        + shifted(src, region, (0, 0, 1)) + shifted(src, region, (0, 0, -1))
+    ) / 6.0
+
+
+def _wide(src, dst, region, param):
+    """halo=2 kernel: second-neighbour average."""
+    dst[region] = 0.5 * (shifted(src, region, (2, 0)) + shifted(src, region, (0, -2)))
+
+
+def _seq(grid, apply, halo, iters):
+    src = np.zeros(tuple(s + 2 * halo for s in grid.shape))
+    region = tuple(slice(halo, halo + s) for s in grid.shape)
+    src[region] = grid
+    dst = np.zeros_like(src)
+    for _ in range(iters):
+        apply(src, dst, region, None)
+        src, dst = dst, src
+        mask = np.ones_like(src, dtype=bool)
+        mask[region] = False
+        src[mask] = 0
+    return src[region]
+
+
+def _program(grid, apply, halo=1, iters=3, mix="cpu+2gpu", dims=None, **st_opts):
+    def prog(ctx):
+        env = RuntimeEnv(ctx, mix)
+        st = env.get_stencil(**st_opts)
+        st.configure(StencilKernel(apply, halo, WORK), grid.shape, dims=dims)
+        st.set_global_grid(grid)
+        st.run(iters)
+        return st.gather_global()
+
+    return prog
+
+
+@pytest.mark.parametrize("nodes", [1, 2, 4])
+def test_2d_matches_sequential(nodes):
+    res = run_spmd(_program(GRID2D, _avg2d), nodes=nodes, gpus_per_node=2)
+    np.testing.assert_allclose(res.values[0], _seq(GRID2D, _avg2d, 1, 3), rtol=1e-12)
+
+
+@pytest.mark.parametrize("nodes", [1, 2, 4])
+def test_3d_matches_sequential(nodes):
+    res = run_spmd(_program(GRID3D, _avg3d), nodes=nodes, gpus_per_node=2)
+    np.testing.assert_allclose(res.values[0], _seq(GRID3D, _avg3d, 1, 3), rtol=1e-12)
+
+
+def test_wide_halo_kernel():
+    res = run_spmd(_program(GRID2D, _wide, halo=2, iters=2), nodes=2, gpus_per_node=2)
+    np.testing.assert_allclose(res.values[0], _seq(GRID2D, _wide, 2, 2), rtol=1e-12)
+
+
+@pytest.mark.parametrize("mix", ["cpu", "1gpu", "cpu+1gpu", "cpu+2gpu"])
+def test_device_mixes_are_numerically_invisible(mix):
+    res = run_spmd(_program(GRID2D, _avg2d, mix=mix), nodes=2, gpus_per_node=2)
+    np.testing.assert_allclose(res.values[0], _seq(GRID2D, _avg2d, 1, 3), rtol=1e-12)
+
+
+def test_explicit_dims():
+    res = run_spmd(_program(GRID2D, _avg2d, dims=(4, 1)), nodes=4, gpus_per_node=2)
+    np.testing.assert_allclose(res.values[0], _seq(GRID2D, _avg2d, 1, 3), rtol=1e-12)
+
+
+@pytest.mark.parametrize("overlap", [True, False])
+@pytest.mark.parametrize("tiling", [True, False])
+def test_optimizations_never_change_numbers(overlap, tiling):
+    res = run_spmd(
+        _program(GRID2D, _avg2d, overlap=overlap, tiling=tiling), nodes=2, gpus_per_node=2
+    )
+    np.testing.assert_allclose(res.values[0], _seq(GRID2D, _avg2d, 1, 3), rtol=1e-12)
+
+
+def test_untiled_costs_more_time():
+    tiled = run_spmd(_program(GRID2D, _avg2d, tiling=True), nodes=1, gpus_per_node=2)
+    untiled = run_spmd(_program(GRID2D, _avg2d, tiling=False), nodes=1, gpus_per_node=2)
+    assert untiled.makespan > tiled.makespan
+
+
+def test_gather_global_only_at_root():
+    def prog(ctx):
+        env = RuntimeEnv(ctx, "cpu")
+        st = env.get_stencil()
+        st.configure(StencilKernel(_avg2d, 1, WORK), GRID2D.shape)
+        st.set_global_grid(GRID2D)
+        st.step()
+        return st.gather_global() is None
+
+    res = run_spmd(prog, nodes=3)
+    assert res.values == [False, True, True]
+
+
+def test_local_interior_shape():
+    def prog(ctx):
+        env = RuntimeEnv(ctx, "cpu")
+        st = env.get_stencil()
+        st.configure(StencilKernel(_avg2d, 1, WORK), GRID2D.shape, dims=(2, 1))
+        st.set_global_grid(GRID2D)
+        return st.local_interior().shape
+
+    res = run_spmd(prog, nodes=2)
+    assert res.values == [(14, 24), (14, 24)]
+
+
+def test_model_shape_scales_time_not_results():
+    def prog(ctx, model):
+        env = RuntimeEnv(ctx, "cpu")
+        st = env.get_stencil()
+        st.configure(StencilKernel(_avg2d, 1, WORK), GRID2D.shape, model_shape=model)
+        st.set_global_grid(GRID2D)
+        st.run(2)
+        return st.gather_global()
+
+    small = run_spmd(prog, nodes=1, kwargs={"model": None})
+    big = run_spmd(prog, nodes=1, kwargs={"model": (280, 240)})
+    np.testing.assert_allclose(small.values[0], big.values[0])
+    assert big.makespan > 20 * small.makespan
+
+
+def test_too_many_processes_rejected():
+    def prog(ctx):
+        env = RuntimeEnv(ctx, "cpu")
+        st = env.get_stencil()
+        st.configure(StencilKernel(_avg2d, 1, WORK), (4, 4), dims=(4, 1))
+
+    with pytest.raises(ConfigurationError, match="halo"):
+        run_spmd(prog, nodes=4)
+
+
+def test_grid_shape_mismatch():
+    def prog(ctx):
+        env = RuntimeEnv(ctx, "cpu")
+        st = env.get_stencil()
+        st.configure(StencilKernel(_avg2d, 1, WORK), (10, 10))
+        st.set_global_grid(np.zeros((9, 10)))
+
+    with pytest.raises(ConfigurationError, match="shape"):
+        run_spmd(prog, nodes=1)
+
+
+def test_unconfigured_errors():
+    def prog(ctx):
+        RuntimeEnv(ctx, "cpu").get_stencil().step()
+
+    with pytest.raises(ConfigurationError, match="configure"):
+        run_spmd(prog, nodes=1)
+
+    def bad_iters(ctx):
+        st = RuntimeEnv(ctx, "cpu").get_stencil()
+        st.configure(StencilKernel(_avg2d, 1, WORK), GRID2D.shape)
+        st.set_global_grid(GRID2D)
+        st.run(0)
+
+    with pytest.raises(ConfigurationError, match="iterations"):
+        run_spmd(bad_iters, nodes=1)
+
+
+def test_halo_values_come_from_neighbors_not_local_data():
+    """A rank computing with stale halos would give wrong borders; compare a
+    column that crosses the process boundary against the reference."""
+    res = run_spmd(_program(GRID2D, _avg2d, dims=(2, 1), iters=4), nodes=2, gpus_per_node=2)
+    ref = _seq(GRID2D, _avg2d, 1, 4)
+    boundary_rows = slice(12, 16)  # spans the split at row 14
+    np.testing.assert_allclose(res.values[0][boundary_rows], ref[boundary_rows], rtol=1e-12)

@@ -1,0 +1,125 @@
+"""Synthetic dataset generators."""
+
+import numpy as np
+import pytest
+
+from repro.data.atoms import build_neighbor_edges, fcc_lattice
+from repro.data.grids import heat3d_initial, synthetic_image
+from repro.data.meshes import geometric_mesh, random_mesh
+from repro.data.points import clustered_points
+from repro.util.errors import ValidationError
+
+
+# ---------------------------------------------------------------- points
+def test_clustered_points_shape_and_dtype():
+    pts, centers = clustered_points(1000, 40, 3, seed=1)
+    assert pts.shape == (1000, 3) and pts.dtype == np.float32
+    assert centers.shape == (40, 3)
+
+
+def test_clustered_points_deterministic():
+    a, _ = clustered_points(500, 8, seed=5)
+    b, _ = clustered_points(500, 8, seed=5)
+    np.testing.assert_array_equal(a, b)
+    c, _ = clustered_points(500, 8, seed=6)
+    assert not np.array_equal(a, c)
+
+
+def test_clustered_points_cluster_structure():
+    pts, centers = clustered_points(4000, 4, 2, seed=0, spread=0.01)
+    # every point sits near some true center
+    d = np.linalg.norm(pts[:, None, :] - centers[None], axis=2).min(axis=1)
+    assert np.percentile(d, 95) < 0.05
+
+
+def test_clustered_points_validation():
+    with pytest.raises(ValidationError):
+        clustered_points(0, 4)
+    with pytest.raises(ValidationError):
+        clustered_points(3, 4)
+
+
+# ---------------------------------------------------------------- meshes
+def test_geometric_mesh_degree_and_shape():
+    pos, edges = geometric_mesh(2000, 10.0, seed=2)
+    assert pos.shape == (2000, 3)
+    assert edges.shape[1] == 2
+    assert (edges[:, 0] < edges[:, 1]).all()
+    mean_degree = 2 * len(edges) / 2000
+    assert 6 < mean_degree < 15  # within ~40% of the target
+
+
+def test_geometric_mesh_spatial_sort_improves_locality():
+    _, sorted_edges = geometric_mesh(1500, 8.0, seed=3, spatial_sort=True)
+    _, raw_edges = geometric_mesh(1500, 8.0, seed=3, spatial_sort=False)
+    span_sorted = np.abs(sorted_edges[:, 1] - sorted_edges[:, 0]).mean()
+    span_raw = np.abs(raw_edges[:, 1] - raw_edges[:, 0]).mean()
+    assert span_sorted < span_raw / 2
+
+
+def test_geometric_mesh_shuffle_degrades_locality():
+    _, clean = geometric_mesh(1500, 8.0, seed=4, shuffle_fraction=0.0)
+    _, noisy = geometric_mesh(1500, 8.0, seed=4, shuffle_fraction=0.3)
+    assert np.abs(noisy[:, 1] - noisy[:, 0]).mean() > np.abs(clean[:, 1] - clean[:, 0]).mean()
+
+
+def test_geometric_mesh_validation():
+    with pytest.raises(ValidationError):
+        geometric_mesh(1, 4.0)
+    with pytest.raises(ValidationError):
+        geometric_mesh(100, -1.0)
+    with pytest.raises(ValidationError):
+        geometric_mesh(100, 8.0, shuffle_fraction=1.5)
+
+
+def test_random_mesh():
+    edges = random_mesh(50, 200, seed=1)
+    assert edges.shape == (200, 2)
+    assert (edges[:, 0] != edges[:, 1]).all()
+    with pytest.raises(ValidationError):
+        random_mesh(1, 10)
+
+
+# ---------------------------------------------------------------- atoms
+def test_fcc_lattice_counts():
+    assert fcc_lattice(2, jitter=0).shape == (32, 3)
+    assert fcc_lattice(5).shape == (500, 3)
+    with pytest.raises(ValidationError):
+        fcc_lattice(0)
+
+
+def test_fcc_lattice_jitter_deterministic():
+    np.testing.assert_array_equal(fcc_lattice(3, seed=7), fcc_lattice(3, seed=7))
+    assert not np.array_equal(fcc_lattice(3, seed=7), fcc_lattice(3, seed=8))
+
+
+def test_neighbor_edges_respect_cutoff():
+    pos = fcc_lattice(4, jitter=0.0)
+    edges = build_neighbor_edges(pos, 1.0)
+    d = np.linalg.norm(pos[edges[:, 0]] - pos[edges[:, 1]], axis=1)
+    assert (d <= 1.0 + 1e-9).all()
+    assert (edges[:, 0] < edges[:, 1]).all()
+    with pytest.raises(ValidationError):
+        build_neighbor_edges(pos, -1)
+    with pytest.raises(ValidationError):
+        build_neighbor_edges(pos[:2] * 100, 0.01)  # no neighbors
+
+
+# ---------------------------------------------------------------- grids
+def test_heat3d_initial_hot_box():
+    grid = heat3d_initial((16, 16, 16), seed=0)
+    assert grid.shape == (16, 16, 16)
+    assert grid.max() > 99.0
+    assert grid[0, 0, 0] < 1.0  # corners are cold
+    with pytest.raises(ValidationError):
+        heat3d_initial((2, 16, 16))
+
+
+def test_synthetic_image_properties():
+    img = synthetic_image((64, 48), seed=1)
+    assert img.shape == (64, 48) and img.dtype == np.float32
+    assert 0.0 <= img.min() and img.max() <= 2.0
+    assert img.std() > 0.05  # has real structure
+    np.testing.assert_array_equal(img, synthetic_image((64, 48), seed=1))
+    with pytest.raises(ValidationError):
+        synthetic_image((4, 64))

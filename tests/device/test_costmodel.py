@@ -1,0 +1,79 @@
+"""Atomic contention model and shared-memory capacity rules."""
+
+import pytest
+
+from repro.cluster.presets import nvidia_m2070
+from repro.device.costmodel import (
+    CPU_PRIVATE_INSERT_COST,
+    CPU_SHARED_ATOMIC_COST,
+    atomic_cost_per_insert,
+    reduction_fits_in_shared,
+    shared_memory_partitions,
+)
+from repro.util.errors import ValidationError
+
+
+@pytest.fixture
+def gpu():
+    return nvidia_m2070()
+
+
+def test_cpu_private_is_flat():
+    assert atomic_cost_per_insert("cpu", 1, localized=True) == CPU_PRIVATE_INSERT_COST
+    assert atomic_cost_per_insert("cpu", 10_000, localized=True) == CPU_PRIVATE_INSERT_COST
+
+
+def test_cpu_shared_contends_when_keys_below_cores():
+    few = atomic_cost_per_insert("cpu", 2, localized=False, cpu_cores=12)
+    many = atomic_cost_per_insert("cpu", 100, localized=False, cpu_cores=12)
+    assert few == pytest.approx(CPU_SHARED_ATOMIC_COST * 6)
+    assert many == pytest.approx(CPU_SHARED_ATOMIC_COST)
+
+
+def test_gpu_localized_far_cheaper_than_global(gpu):
+    local = atomic_cost_per_insert("gpu", 40, localized=True, gpu=gpu)
+    global_ = atomic_cost_per_insert("gpu", 40, localized=False, gpu=gpu)
+    assert local < global_ / 5
+
+
+def test_gpu_cost_decreases_with_keys_until_lane_limit(gpu):
+    c1 = atomic_cost_per_insert("gpu", 1, localized=False, gpu=gpu)
+    c32 = atomic_cost_per_insert("gpu", 32, localized=False, gpu=gpu)
+    c64 = atomic_cost_per_insert("gpu", 64, localized=False, gpu=gpu)
+    c4096 = atomic_cost_per_insert("gpu", 4096, localized=False, gpu=gpu)
+    assert c1 > c32 > c64
+    assert c64 == c4096  # lane limit reached
+
+
+def test_gpu_requires_spec():
+    with pytest.raises(ValidationError):
+        atomic_cost_per_insert("gpu", 10, localized=True)
+
+
+def test_unknown_device_kind():
+    with pytest.raises(ValidationError):
+        atomic_cost_per_insert("tpu", 10, localized=True)
+
+
+def test_bad_num_keys():
+    with pytest.raises(ValidationError):
+        atomic_cost_per_insert("cpu", 0, localized=True)
+
+
+def test_reduction_fits_in_shared(gpu):
+    # Kmeans: 40 keys x 4 float32 = 640 B -> fits.
+    assert reduction_fits_in_shared(40, 16, gpu)
+    # A million keys does not.
+    assert not reduction_fits_in_shared(1_000_000, 16, gpu)
+    with pytest.raises(ValidationError):
+        reduction_fits_in_shared(0, 16, gpu)
+
+
+def test_shared_memory_partitions_formula(gpu):
+    """num_parts = num_nodes / (shared_mem / elem_size) (paper SIII-E)."""
+    nodes_per_part = int(gpu.shared_mem_per_sm // 24)
+    assert shared_memory_partitions(nodes_per_part, 24, gpu) == 1
+    assert shared_memory_partitions(nodes_per_part + 1, 24, gpu) == 2
+    assert shared_memory_partitions(10 * nodes_per_part, 24, gpu) == 10
+    with pytest.raises(ValidationError):
+        shared_memory_partitions(0, 24, gpu)

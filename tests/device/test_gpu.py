@@ -1,0 +1,89 @@
+"""GPU device cost arithmetic and the two-stream chunk pipeline."""
+
+import pytest
+
+from repro.cluster.presets import nvidia_m2070
+from repro.device.gpu import GPUDevice
+from repro.device.work import WorkModel
+from repro.util.errors import ValidationError
+
+
+@pytest.fixture
+def gpu():
+    return GPUDevice(nvidia_m2070())
+
+
+def test_compute_bound_elem_time(gpu):
+    w = WorkModel(name="c", flops_per_elem=515, bytes_per_elem=1, gpu_efficiency=1.0)
+    assert gpu.elem_time(w) == pytest.approx(1e-9, rel=1e-3)
+
+
+def test_memory_bound_elem_time(gpu):
+    w = WorkModel(name="m", flops_per_elem=1, bytes_per_elem=150, gpu_efficiency=1.0)
+    assert gpu.elem_time(w) == pytest.approx(1e-9, rel=1e-3)
+
+
+def test_kernel_time_includes_launch_overhead(gpu):
+    w = WorkModel(name="c", flops_per_elem=515, bytes_per_elem=1, gpu_efficiency=1.0)
+    assert gpu.kernel_time(w, 0) == 0.0
+    assert gpu.kernel_time(w, 1000) == pytest.approx(
+        gpu.spec.kernel_launch_overhead + 1000e-9, rel=1e-3
+    )
+
+
+def test_transfer_time(gpu):
+    assert gpu.transfer_time(0) == 0.0
+    assert gpu.transfer_time(8e9) == pytest.approx(1.0 + gpu.spec.pcie_latency)
+    assert gpu.peer_transfer_time(8e9) == gpu.transfer_time(8e9)
+    with pytest.raises(ValidationError):
+        gpu.transfer_time(-1)
+
+
+def test_gpu_overhead_flops_used(gpu):
+    w = WorkModel(
+        name="o", flops_per_elem=100, bytes_per_elem=1, gpu_efficiency=1.0,
+        runtime_overhead_flops=0.0, runtime_overhead_flops_gpu=100.0,
+    )
+    assert gpu.elem_time(w, framework=True) == pytest.approx(
+        2 * gpu.elem_time(w, framework=False)
+    )
+
+
+def test_submit_chunk_pipelines_copy_and_kernel(gpu):
+    w = WorkModel(
+        name="s", flops_per_elem=515, bytes_per_elem=1, gpu_efficiency=1.0,
+        transfer_bytes_per_elem=8.0,
+    )
+    n = 1_000_000
+    ex = gpu.submit_chunk(w, n, ready=0.0, streams=2)
+    # Per block: copy 0.5 ms (+latency), kernel ~0.5 ms (+launch).
+    # Pipeline: copy1; kernel1 || copy2; kernel2 => ~1.5 ms total.
+    assert ex.kernel_end == pytest.approx(1.5e-3, rel=0.05)
+    assert ex.copy_start == 0.0
+
+
+def test_submit_chunk_single_stream_serializes(gpu):
+    w = WorkModel(
+        name="s", flops_per_elem=515, bytes_per_elem=1, gpu_efficiency=1.0,
+        transfer_bytes_per_elem=8.0,
+    )
+    two = gpu.submit_chunk(w, 1_000_000, ready=0.0, streams=2).kernel_end
+    gpu.reset()
+    one = gpu.submit_chunk(w, 1_000_000, ready=0.0, streams=1).kernel_end
+    assert one > two  # no overlap across blocks with one stream
+
+
+def test_submit_chunk_validation(gpu):
+    w = WorkModel(name="s", flops_per_elem=1, bytes_per_elem=1)
+    with pytest.raises(ValidationError):
+        gpu.submit_chunk(w, 10, 0.0, streams=0)
+    with pytest.raises(ValidationError):
+        gpu.submit_chunk(w, -1, 0.0)
+
+
+def test_reset_clears_engines(gpu):
+    w = WorkModel(name="s", flops_per_elem=1, bytes_per_elem=1)
+    gpu.submit_chunk(w, 100, 0.0)
+    gpu.reset(start=2.0)
+    assert gpu.compute_engine.available_at == 2.0
+    assert gpu.copy_engine.available_at == 2.0

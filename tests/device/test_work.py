@@ -1,0 +1,66 @@
+"""WorkModel validation and helpers."""
+
+import pytest
+
+from repro.device.work import WorkModel, scaled
+from repro.util.errors import ValidationError
+
+
+def _work(**kw):
+    base = dict(name="w", flops_per_elem=10, bytes_per_elem=8)
+    base.update(kw)
+    return WorkModel(**base)
+
+
+def test_defaults():
+    w = _work()
+    assert w.cpu_efficiency == 0.5
+    assert w.atomics_per_elem == 0.0
+    assert w.gpu_overhead_flops == 0.0
+
+
+def test_gpu_overhead_falls_back_to_cpu():
+    assert _work(runtime_overhead_flops=3.0).gpu_overhead_flops == 3.0
+    assert _work(runtime_overhead_flops=3.0, runtime_overhead_flops_gpu=7.0).gpu_overhead_flops == 7.0
+    assert _work(runtime_overhead_flops_gpu=0.0, runtime_overhead_flops=3.0).gpu_overhead_flops == 0.0
+
+
+def test_replace_returns_modified_copy():
+    w = _work()
+    w2 = w.replace(gpu_efficiency=0.9)
+    assert w2.gpu_efficiency == 0.9
+    assert w.gpu_efficiency == 0.5
+
+
+@pytest.mark.parametrize(
+    "kw",
+    [
+        dict(flops_per_elem=-1),
+        dict(flops_per_elem=0, bytes_per_elem=0),
+        dict(cpu_efficiency=0),
+        dict(gpu_efficiency=1.2),
+        dict(cpu_mem_efficiency=-0.1),
+        dict(atomics_per_elem=-1),
+        dict(atomics_per_elem=1),  # missing num_reduction_keys
+        dict(transfer_bytes_per_elem=-1),
+        dict(runtime_overhead_flops=-1),
+        dict(runtime_overhead_flops_gpu=-1),
+    ],
+)
+def test_validation_rejects(kw):
+    with pytest.raises(ValidationError):
+        _work(**kw)
+
+
+def test_atomics_with_keys_ok():
+    w = _work(atomics_per_elem=2, num_reduction_keys=40)
+    assert w.num_reduction_keys == 40
+
+
+def test_scaled():
+    assert scaled(1000, 100_000) == 100.0
+    assert scaled(1000, None) == 1.0
+    with pytest.raises(ValidationError):
+        scaled(0, 10)
+    with pytest.raises(ValidationError):
+        scaled(100, 10)

@@ -1,0 +1,88 @@
+"""Determinism: virtual times must not depend on wall-clock thread timing.
+
+The whole point of virtual-clock simulation is that reported numbers are
+reproducible; these tests run the same programs repeatedly (real threads,
+different OS interleavings each time) and require bit-identical results
+and times.
+"""
+
+import numpy as np
+import pytest
+
+from repro.apps import heat3d, kmeans, moldyn
+from repro.apps.extra import sssp
+from repro.cluster.presets import ohio_cluster
+from repro.sim.engine import spmd_run
+
+REPEATS = 3
+
+
+def _times_and_result(run_fn):
+    outs = [run_fn() for _ in range(REPEATS)]
+    return outs
+
+
+def test_kmeans_cluster_run_deterministic():
+    cfg = kmeans.KmeansConfig(functional_points=20_000)
+
+    def once():
+        run = kmeans.run(ohio_cluster(4), cfg, mix="cpu+2gpu")
+        return run.makespan, run.result
+
+    outs = _times_and_result(once)
+    for makespan, result in outs[1:]:
+        assert makespan == outs[0][0]
+        np.testing.assert_array_equal(result, outs[0][1])
+
+
+def test_moldyn_cluster_run_deterministic():
+    cfg = moldyn.MoldynConfig(functional_nodes=3_000, functional_degree=10, simulated_steps=2)
+
+    def once():
+        run = moldyn.run(ohio_cluster(3), cfg, mix="cpu+1gpu")
+        return run.makespan, run.result[0]["nodes"]
+
+    outs = _times_and_result(once)
+    for makespan, nodes in outs[1:]:
+        assert makespan == outs[0][0]
+        np.testing.assert_array_equal(nodes, outs[0][1])
+
+
+def test_heat3d_per_rank_times_deterministic():
+    cfg = heat3d.Heat3DConfig(functional_shape=(24, 24, 24), simulated_steps=2)
+
+    def once():
+        res = spmd_run(heat3d.rank_program, ohio_cluster(4), args=(cfg, "cpu+2gpu"))
+        return tuple(tuple(v["steps"]) for v in res.values)
+
+    outs = _times_and_result(once)
+    assert outs[0] == outs[1] == outs[2]
+
+
+def test_iterative_graph_algorithm_deterministic():
+    cfg = sssp.SsspConfig(n_nodes=150, degree=8.0)
+
+    def once():
+        res = spmd_run(sssp.rank_program, ohio_cluster(3), args=(cfg, "cpu"))
+        return res.makespan, tuple(v["rounds"] for v in res.values)
+
+    outs = _times_and_result(once)
+    assert outs[0] == outs[1] == outs[2]
+
+
+def test_per_core_mpi_baseline_deterministic():
+    from repro.apps.baselines import mpi_kmeans
+
+    cfg = kmeans.KmeansConfig(functional_points=12_000)
+
+    def once():
+        return mpi_kmeans.run(ohio_cluster(2), cfg).makespan
+
+    times = {_ for _ in (once() for _ in range(REPEATS))}
+    assert len(times) == 1
+
+
+def test_different_seeds_differ():
+    a = kmeans.run(ohio_cluster(1), kmeans.KmeansConfig(functional_points=10_000, seed=1), mix="cpu")
+    b = kmeans.run(ohio_cluster(1), kmeans.KmeansConfig(functional_points=10_000, seed=2), mix="cpu")
+    assert not np.array_equal(a.result, b.result)

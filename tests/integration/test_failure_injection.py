@@ -1,0 +1,99 @@
+"""Failure injection: the engine must fail fast, loudly, and accurately."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.presets import laptop_cluster
+from repro.core.api import GRKernel
+from repro.core.env import RuntimeEnv
+from repro.device.work import WorkModel
+from repro.sim.engine import spmd_run
+from repro.util.errors import DeadlockError
+
+WORK = WorkModel(name="w", flops_per_elem=4, bytes_per_elem=8)
+
+
+def test_kernel_exception_propagates_from_runtime():
+    """A user emit function that raises must surface, not hang the fleet."""
+
+    def bad_emit(obj, data, start, param):
+        raise ZeroDivisionError("user bug in emit")
+
+    def prog(ctx):
+        env = RuntimeEnv(ctx, "cpu")
+        gr = env.get_GR()
+        gr.set_kernel(GRKernel(bad_emit, "sum", 4, 1, WORK))
+        gr.set_input(np.ones((100, 1)))
+        gr.start()
+        return gr.get_global_reduction()  # blocks siblings without the abort
+
+    with pytest.raises(ZeroDivisionError, match="user bug"):
+        spmd_run(prog, laptop_cluster(num_nodes=3), recv_timeout=10, wall_timeout=30)
+
+
+def test_one_sided_collective_deadlocks_cleanly():
+    """Only some ranks entering a collective is a deadlock, not a hang."""
+
+    def prog(ctx):
+        if ctx.rank == 0:
+            return None  # skips the barrier
+        ctx.comm.barrier()
+
+    with pytest.raises(DeadlockError):
+        spmd_run(prog, laptop_cluster(num_nodes=2), recv_timeout=0.3, wall_timeout=10)
+
+
+def test_mismatched_collective_order_deadlocks():
+    def prog(ctx):
+        if ctx.rank == 0:
+            ctx.comm.bcast(1, root=0)
+            ctx.comm.barrier()
+        else:
+            ctx.comm.barrier()
+            ctx.comm.bcast(None, root=0)
+
+    with pytest.raises(DeadlockError):
+        spmd_run(prog, laptop_cluster(num_nodes=2), recv_timeout=0.3, wall_timeout=10)
+
+
+def test_partial_send_recv_pairing_detected():
+    def prog(ctx):
+        if ctx.rank == 0:
+            ctx.comm.recv(source=1, tag=1)  # rank 1 never sends tag 1
+        else:
+            ctx.comm.send("x", 0, tag=2)
+
+    with pytest.raises(DeadlockError):
+        spmd_run(prog, laptop_cluster(num_nodes=2), recv_timeout=0.3, wall_timeout=10)
+
+
+def test_abort_drains_all_ranks_quickly():
+    """After one rank dies, the other 7 blocked ranks must all be released."""
+
+    def prog(ctx):
+        if ctx.rank == 3:
+            raise ValueError("injected")
+        ctx.comm.recv(source=3, tag=0)
+
+    with pytest.raises(ValueError, match="injected"):
+        spmd_run(prog, laptop_cluster(num_nodes=8), recv_timeout=20, wall_timeout=30)
+
+
+def test_exception_in_device_factory():
+    def factory(ctx):
+        raise OSError("factory failed")
+
+    with pytest.raises(OSError, match="factory failed"):
+        spmd_run(lambda ctx: None, laptop_cluster(num_nodes=2), device_factory=factory)
+
+
+def test_results_of_completed_ranks_are_not_mixed_with_failures():
+    """The engine must not return partial SpmdResult on failure."""
+
+    def prog(ctx):
+        if ctx.rank == 1:
+            raise RuntimeError("late failure")
+        return "done"
+
+    with pytest.raises(RuntimeError):
+        spmd_run(prog, laptop_cluster(num_nodes=2))

@@ -1,0 +1,65 @@
+"""ASCII chart rendering."""
+
+import pytest
+
+from repro.metrics.ascii_chart import fig5_chart, render_chart
+from repro.util.errors import ValidationError
+
+
+def test_basic_chart_contains_markers_and_legend():
+    text = render_chart(
+        {"cpu": [(1, 10), (32, 300)], "gpu": [(1, 30), (32, 900)]},
+        title="T", xlabel="nodes", ylabel="speedup",
+    )
+    assert "T" in text
+    assert "o=cpu" in text and "x=gpu" in text
+    assert "o" in text and "x" in text
+    assert "x: nodes" in text
+
+
+def test_axis_extremes_labeled():
+    text = render_chart({"s": [(1, 10), (32, 1000)]})
+    assert "1e+03" in text or "1000" in text
+    assert "10" in text
+    assert "32" in text
+
+
+def test_monotone_series_rises_left_to_right():
+    text = render_chart({"s": [(1, 1), (2, 10), (4, 100)]}, width=30, height=10)
+    lines = [l.split("|", 1)[1] for l in text.splitlines() if "|" in l]
+    first_col = min(i for line in lines for i, c in enumerate(line) if c == "o")
+    top_row = min(r for r, line in enumerate(lines) if "o" in line)
+    bottom_row = max(r for r, line in enumerate(lines) if "o" in line)
+    assert top_row < bottom_row  # spans vertically
+    assert lines[top_row].index("o") > first_col  # higher values further right
+
+
+def test_validation():
+    with pytest.raises(ValidationError):
+        render_chart({})
+    with pytest.raises(ValidationError):
+        render_chart({"s": [(0, 1)]}, logx=True)
+    with pytest.raises(ValidationError):
+        render_chart({"s": [(1, -1)]}, logy=True)
+    with pytest.raises(ValidationError):
+        render_chart({"s": [(1, 1)]}, width=5)
+
+
+def test_linear_axes():
+    text = render_chart({"s": [(0, 0), (10, 5)]}, logx=False, logy=False)
+    assert "o" in text
+
+
+def test_fig5_chart_from_rows():
+    rows = [
+        {"app": "kmeans", "nodes": 1, "mix": "cpu", "speedup": 11.0},
+        {"app": "kmeans", "nodes": 4, "mix": "cpu", "speedup": 44.0},
+        {"app": "kmeans", "nodes": 1, "mix": "cpu+2gpu", "speedup": 69.0},
+        {"app": "kmeans", "nodes": 4, "mix": "cpu+2gpu", "speedup": 270.0},
+        {"app": "other", "nodes": 1, "mix": "cpu", "speedup": 5.0},
+    ]
+    text = fig5_chart(rows, "kmeans")
+    assert "kmeans" in text
+    assert "cpu+2gpu" in text
+    with pytest.raises(ValidationError):
+        fig5_chart(rows, "nonexistent")

@@ -1,0 +1,51 @@
+"""Command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, cmd_info, main
+
+
+def test_info(capsys):
+    assert main(["info"]) == 0
+    out = capsys.readouterr().out
+    assert "Xeon 5650" in out
+    assert "M2070" in out
+    assert "64 GPUs" in out or "64" in out
+
+
+def test_info_contents():
+    text = cmd_info()
+    assert "32" in text and "384" in text
+
+
+def test_run_app(capsys):
+    assert main(["run", "heat3d", "--nodes", "2", "--mix", "cpu"]) == 0
+    out = capsys.readouterr().out
+    assert "speedup" in out
+    assert "heat3d on 2 node(s), cpu" in out
+
+
+def test_run_no_overlap(capsys):
+    assert main(["run", "heat3d", "--nodes", "1", "--mix", "cpu", "--no-overlap"]) == 0
+    assert "speedup" in capsys.readouterr().out
+
+
+def test_codesize(capsys):
+    assert main(["codesize"]) == 0
+    out = capsys.readouterr().out
+    assert "kmeans" in out and "ratio" in out
+
+
+def test_figure_fig6(capsys):
+    assert main(["figure", "fig6"]) == 0
+    assert "mpi_loc" in capsys.readouterr().out
+
+
+def test_parser_rejects_unknown():
+    parser = build_parser()
+    with pytest.raises(SystemExit):
+        parser.parse_args(["run", "nbody"])
+    with pytest.raises(SystemExit):
+        parser.parse_args(["figure", "fig9"])
+    with pytest.raises(SystemExit):
+        parser.parse_args([])

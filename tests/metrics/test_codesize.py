@@ -1,0 +1,53 @@
+"""Logical line counting."""
+
+import pytest
+
+from repro.metrics.codesize import code_size_table, count_logical_lines
+from repro.util.errors import ValidationError
+
+SAMPLE = '''"""Module docstring
+spanning lines."""
+
+# a comment
+import os
+
+
+def f(x):
+    """Function docstring."""
+    # another comment
+    y = (x +
+         1)
+    return y
+'''
+
+
+def test_count_skips_docstrings_comments_blanks(tmp_path):
+    path = tmp_path / "sample.py"
+    path.write_text(SAMPLE)
+    # import os; def f(x):; y = (x +; 1); return y  -> 5 lines
+    assert count_logical_lines(path) == 5
+
+
+def test_count_missing_file():
+    with pytest.raises(ValidationError):
+        count_logical_lines("/nonexistent/file.py")
+
+
+def test_code_size_table(tmp_path):
+    small = tmp_path / "small.py"
+    small.write_text("x = 1\n")
+    big = tmp_path / "big.py"
+    big.write_text("a = 1\nb = 2\nc = 3\nd = 4\n")
+    rows = code_size_table({"app": (small, big)})
+    assert rows[0]["framework_loc"] == 1
+    assert rows[0]["mpi_loc"] == 4
+    assert rows[0]["ratio"] == pytest.approx(0.25)
+
+
+def test_real_examples_are_smaller_than_baselines():
+    from repro.metrics.figures import fig6_code_sizes
+
+    rows = fig6_code_sizes()
+    assert {r["app"] for r in rows} == {"kmeans", "minimd", "sobel", "heat3d"}
+    for row in rows:
+        assert 0 < row["ratio"] < 1.0, row

@@ -1,0 +1,48 @@
+"""Experiment drivers (smoke + invariants at quick scale)."""
+
+import pytest
+
+from repro.metrics import figures
+from repro.util.errors import ValidationError
+
+
+def test_table2_rows_have_all_apps():
+    rows = figures.table2_intranode("quick", apps=["kmeans", "heat3d"])
+    assert [r["app"] for r in rows] == ["kmeans", "heat3d"]
+    for r in rows:
+        assert r["actual_1gpu"] <= r["perfect_1gpu"] * 1.02
+        assert r["perfect_2gpu"] == pytest.approx(1 + 2 * r["gpu_vs_cpu"], rel=1e-9)
+
+
+def test_fig5_rows_structure():
+    rows = figures.fig5_scalability("quick", apps=["heat3d"])
+    mixes = {r["mix"] for r in rows}
+    assert mixes == set(figures.FIG5_MIXES) | {"mpi-handwritten"}
+    nodes = sorted({r["nodes"] for r in rows})
+    assert nodes == [1, 4]
+    summary = figures.fig5_summary(rows)
+    assert summary[0]["app"] == "heat3d"
+    assert summary[0]["cpu_scaling"] > 2.0
+
+
+def test_fig5_moldyn_has_no_mpi_row():
+    """The paper found no comparable hand-written MPI Moldyn."""
+    rows = figures.fig5_scalability("quick", apps=["moldyn"])
+    assert not any(r["mix"] == "mpi-handwritten" for r in rows)
+
+
+def test_fig8_ratios_in_paper_direction():
+    rows = figures.fig8_gpu_baselines("quick")
+    for r in rows:
+        assert r["fw_over_cuda"] >= 1.0
+
+
+def test_invalid_scale_rejected():
+    with pytest.raises(ValidationError):
+        figures.fig5_scalability("huge")
+
+
+def test_paper_reference_values_present():
+    assert figures.PAPER["gpu_cpu_ratio"]["kmeans"] == 2.69
+    assert figures.PAPER["table2_actual"]["sobel"] == (2.94, 4.68)
+    assert figures.PAPER["overall_speedup_range"] == (562, 1760)

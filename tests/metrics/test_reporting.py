@@ -1,0 +1,29 @@
+"""Table formatting."""
+
+from repro.metrics.reporting import format_table
+
+
+def test_basic_table():
+    rows = [{"a": 1, "b": 2.5}, {"a": 10, "b": 0.001}]
+    text = format_table(rows, title="T")
+    lines = text.splitlines()
+    assert lines[0] == "T"
+    assert "| a " in lines[1] and "| b" in lines[1]
+    assert len(lines) == 5  # title + header + rule + 2 rows
+
+
+def test_column_selection_and_missing_values():
+    rows = [{"a": 1}, {"a": 2, "extra": 9}]
+    text = format_table(rows, columns=["a", "missing"])
+    assert "missing" in text
+    assert "9" not in text
+
+
+def test_empty_rows():
+    assert "(empty)" in format_table([], title="x")
+
+
+def test_float_formats():
+    text = format_table([{"v": 12345.6}, {"v": 0.0001}, {"v": 0.0}])
+    assert "1.23e+04" in text
+    assert "0.0001" in text

@@ -1,0 +1,103 @@
+"""SPMD engine behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.presets import laptop_cluster
+from repro.sim.engine import spmd_run
+from repro.util.errors import DeadlockError, ValidationError
+
+
+def test_single_rank_runs_inline():
+    res = spmd_run(lambda ctx: ctx.rank * 10, laptop_cluster(num_nodes=1))
+    assert res.values == [0]
+    assert res.nranks == 1
+
+
+def test_values_collected_per_rank():
+    res = spmd_run(lambda ctx: (ctx.rank, ctx.size), laptop_cluster(num_nodes=3))
+    assert res.values == [(0, 3), (1, 3), (2, 3)]
+
+
+def test_ranks_per_node_mapping():
+    def prog(ctx):
+        return ctx.node_index
+
+    res = spmd_run(prog, laptop_cluster(num_nodes=2), ranks_per_node=3)
+    assert res.values == [0, 0, 0, 1, 1, 1]
+    assert res.nranks == 6
+
+
+def test_args_kwargs_forwarded():
+    def prog(ctx, a, b=0):
+        return a + b + ctx.rank
+
+    res = spmd_run(prog, laptop_cluster(num_nodes=2), args=(10,), kwargs={"b": 5})
+    assert res.values == [15, 16]
+
+
+def test_exception_propagates_with_rank():
+    def prog(ctx):
+        if ctx.rank == 1:
+            raise RuntimeError("boom on rank 1")
+        # Other ranks block on a message that never comes; the abort must
+        # wake them rather than hanging the suite.
+        ctx.comm.recv(source=(ctx.rank + 1) % ctx.size, tag=5)
+
+    with pytest.raises(RuntimeError, match="boom"):
+        spmd_run(prog, laptop_cluster(num_nodes=3))
+
+
+def test_deadlock_watchdog():
+    def prog(ctx):
+        ctx.comm.recv(source=ctx.rank and 0 or 1, tag=9)  # nobody sends
+
+    with pytest.raises(DeadlockError):
+        spmd_run(prog, laptop_cluster(num_nodes=2), recv_timeout=0.2, wall_timeout=5.0)
+
+
+def test_makespan_is_max_of_rank_times():
+    def prog(ctx):
+        ctx.clock.advance(float(ctx.rank))
+        return None
+
+    res = spmd_run(prog, laptop_cluster(num_nodes=4))
+    assert res.makespan == pytest.approx(3.0)
+    assert res.times == pytest.approx([0.0, 1.0, 2.0, 3.0])
+
+
+def test_virtual_time_deterministic_across_runs():
+    def prog(ctx):
+        data = np.full(1000, ctx.rank, dtype=np.float64)
+        total = ctx.comm.allreduce(data, "sum")
+        ctx.comm.barrier()
+        return float(total[0])
+
+    cluster = laptop_cluster(num_nodes=4)
+    t1 = spmd_run(prog, cluster).times
+    t2 = spmd_run(prog, cluster).times
+    assert t1 == t2
+
+
+def test_traces_disabled_by_default_enabled_on_request():
+    def prog(ctx):
+        ctx.comm.barrier()
+
+    res = spmd_run(prog, laptop_cluster(num_nodes=2))
+    assert all(len(t) == 0 for t in res.traces)
+    res = spmd_run(prog, laptop_cluster(num_nodes=2), trace=True)
+    assert any(len(t) > 0 for t in res.traces)
+
+
+def test_device_factory_runs_per_rank():
+    def factory(ctx):
+        return [f"dev-{ctx.rank}"]
+
+    res = spmd_run(lambda ctx: ctx.devices, laptop_cluster(num_nodes=2), device_factory=factory)
+    assert res.values == [["dev-0"], ["dev-1"]]
+
+
+def test_rejects_zero_ranks():
+    cluster = laptop_cluster(num_nodes=1)
+    with pytest.raises(ValidationError):
+        spmd_run(lambda ctx: None, cluster, ranks_per_node=0)

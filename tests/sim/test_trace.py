@@ -1,0 +1,56 @@
+"""Event tracing."""
+
+from repro.sim.trace import Trace, TraceEvent, merge_traces, overlap_seconds
+
+
+def test_record_and_iterate():
+    tr = Trace(rank=1)
+    tr.record("compute", "k1", 0.0, 2.0, elems=10)
+    tr.record("comm", "send->2", 1.0, 1.5)
+    assert len(tr) == 2
+    assert tr.events[0].meta["elems"] == 10
+    assert tr.events[0].duration == 2.0
+
+
+def test_disabled_trace_records_nothing():
+    tr = Trace(rank=0, enabled=False)
+    tr.record("compute", "x", 0, 1)
+    assert len(tr) == 0
+
+
+def test_filter_by_category_and_prefix():
+    tr = Trace(0)
+    tr.record("compute", "IR:local", 0, 1)
+    tr.record("compute", "IR:cross", 1, 2)
+    tr.record("comm", "IR:exchange", 0, 1)
+    assert len(tr.filter(category="compute")) == 2
+    assert len(tr.filter(label_prefix="IR:local")) == 1
+    assert len(tr.filter(category="comm", label_prefix="IR:")) == 1
+
+
+def test_span_and_total():
+    tr = Trace(0)
+    assert tr.span() == (0.0, 0.0)
+    tr.record("a", "x", 1.0, 2.0)
+    tr.record("b", "y", 0.5, 3.0)
+    assert tr.span() == (0.5, 3.0)
+    assert tr.total("a") == 1.0
+    assert tr.total("b") == 2.5
+    assert tr.total("nothing") == 0.0
+
+
+def test_overlap_seconds():
+    a = TraceEvent(0, "c", "a", 0.0, 2.0)
+    b = TraceEvent(0, "c", "b", 1.0, 3.0)
+    c = TraceEvent(0, "c", "c", 5.0, 6.0)
+    assert overlap_seconds(a, b) == 1.0
+    assert overlap_seconds(a, c) == 0.0
+    assert overlap_seconds(a, a) == 2.0
+
+
+def test_merge_traces_sorted():
+    t0, t1 = Trace(0), Trace(1)
+    t0.record("c", "later", 5, 6)
+    t1.record("c", "earlier", 1, 2)
+    merged = merge_traces([t0, t1])
+    assert [e.label for e in merged] == ["earlier", "later"]

@@ -1,0 +1,29 @@
+"""Exception hierarchy contracts."""
+
+import pytest
+
+from repro.util.errors import (
+    CommunicationError,
+    ConfigurationError,
+    DeadlockError,
+    ReproError,
+    SchedulingError,
+    ValidationError,
+)
+
+
+@pytest.mark.parametrize(
+    "exc",
+    [ConfigurationError, CommunicationError, SchedulingError, ValidationError, DeadlockError],
+)
+def test_all_derive_from_repro_error(exc):
+    assert issubclass(exc, ReproError)
+
+
+def test_deadlock_is_communication_error():
+    assert issubclass(DeadlockError, CommunicationError)
+
+
+def test_catchable_as_base():
+    with pytest.raises(ReproError):
+        raise ValidationError("nope")

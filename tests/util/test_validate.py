@@ -1,0 +1,52 @@
+"""Argument validation helpers."""
+
+import numpy as np
+import pytest
+
+from repro.util.errors import ValidationError
+from repro.util.validate import (
+    check_in_range,
+    check_non_negative,
+    check_positive,
+    check_shape,
+    check_type,
+)
+
+
+def test_check_positive_accepts():
+    check_positive("x", 1e-9)
+
+
+@pytest.mark.parametrize("bad", [0, -1, -0.5])
+def test_check_positive_rejects(bad):
+    with pytest.raises(ValidationError, match="x"):
+        check_positive("x", bad)
+
+
+def test_check_non_negative():
+    check_non_negative("y", 0)
+    with pytest.raises(ValidationError, match="y"):
+        check_non_negative("y", -1e-12)
+
+
+def test_check_in_range_inclusive():
+    check_in_range("z", 0.0, 0.0, 1.0)
+    check_in_range("z", 1.0, 0.0, 1.0)
+    with pytest.raises(ValidationError):
+        check_in_range("z", 1.0001, 0.0, 1.0)
+
+
+def test_check_type_single_and_tuple():
+    check_type("n", 3, int)
+    check_type("n", 3, (int, float))
+    with pytest.raises(ValidationError, match="int"):
+        check_type("n", "3", int)
+
+
+def test_check_shape_exact_and_wildcard():
+    check_shape("edges", np.zeros((5, 2)), (None, 2))
+    check_shape("grid", np.zeros((3, 4)), (3, 4))
+    with pytest.raises(ValidationError, match="axis 1"):
+        check_shape("edges", np.zeros((5, 3)), (None, 2))
+    with pytest.raises(ValidationError, match="2-D"):
+        check_shape("edges", np.zeros(5), (None, 2))
