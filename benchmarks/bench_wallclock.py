@@ -1,0 +1,264 @@
+#!/usr/bin/env python
+"""Wall-clock performance harness for the functional layer.
+
+Times how long the *host* (wall-clock seconds, ``time.perf_counter``)
+takes to execute the five paper apps' functional runs — as opposed to the
+virtual (simulated) time every other benchmark reports.  The two are
+strictly separated: optimizations measured here must leave every virtual
+makespan bit-for-bit unchanged (asserted by recording both).
+
+Outputs a machine-readable JSON record (``BENCH_wallclock.json`` at the
+repo root holds the committed trajectory) so per-PR regressions are
+visible::
+
+    PYTHONPATH=src python benchmarks/bench_wallclock.py --mode smoke
+    PYTHONPATH=src python benchmarks/bench_wallclock.py --mode full --out BENCH_wallclock.json
+
+Each timed case reports:
+
+- ``wall_s``     — best-of-N wall seconds for the whole functional run
+- ``makespan``   — the virtual makespan of the same run (regression canary)
+
+plus two micro-benchmarks isolating the paths this harness exists to
+watch: the stencil step loop (Sobel/Heat3D) and the Kmeans emit path.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import subprocess
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.apps import heat3d, kmeans, minimd, moldyn, sobel
+from repro.cluster.presets import ohio_cluster
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def _configs(mode: str) -> dict:
+    """Workload sizes per mode; smoke keeps CI latency low."""
+    if mode == "smoke":
+        return {
+            "repeats": 2,
+            "step_repeats": 3,
+            "kmeans": kmeans.KmeansConfig(functional_points=60_000, iterations=1),
+            "sobel": sobel.SobelConfig(functional_shape=(384, 384), simulated_steps=3),
+            "heat3d": heat3d.Heat3DConfig(functional_shape=(36, 36, 36), simulated_steps=3),
+            "minimd": minimd.MiniMDConfig(functional_cells=8, simulated_steps=3),
+            "moldyn": moldyn.MoldynConfig(functional_nodes=4_000, simulated_steps=3),
+            # Step-loop microbenches run more steps than the app defaults so
+            # the signal dominates thread-scheduling jitter.
+            "sobel_steps": sobel.SobelConfig(functional_shape=(384, 384), simulated_steps=8),
+            "heat3d_steps": heat3d.Heat3DConfig(
+                functional_shape=(36, 36, 36), simulated_steps=8
+            ),
+            "nodes": 4,
+        }
+    return {
+        "repeats": 3,
+        "step_repeats": 5,
+        "kmeans": kmeans.KmeansConfig(functional_points=200_000, iterations=1),
+        "sobel": sobel.SobelConfig(),
+        "heat3d": heat3d.Heat3DConfig(),
+        "minimd": minimd.MiniMDConfig(),
+        "moldyn": moldyn.MoldynConfig(),
+        "sobel_steps": sobel.SobelConfig(simulated_steps=15),
+        "heat3d_steps": heat3d.Heat3DConfig(simulated_steps=20),
+        "nodes": 4,
+    }
+
+
+def _best_of(repeats: int, fn):
+    """Run ``fn`` ``repeats`` times; return (best wall seconds, last result)."""
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - t0)
+    return best, result
+
+
+def bench_apps(cfg: dict) -> dict:
+    """Time the five paper apps' full functional executions."""
+    cluster = ohio_cluster(cfg["nodes"])
+    cases = {}
+    for name, mod in [
+        ("kmeans", kmeans),
+        ("sobel", sobel),
+        ("heat3d", heat3d),
+        ("minimd", minimd),
+        ("moldyn", moldyn),
+    ]:
+        wall, run = _best_of(cfg["repeats"], lambda m=mod, n=name: m.run(cluster, cfg[n]))
+        cases[name] = {"wall_s": round(wall, 4), "makespan": run.makespan}
+    return cases
+
+
+def bench_stencil_steps(cfg: dict) -> dict:
+    """Isolate the stencil step loop: wall seconds per Sobel/Heat3D step."""
+    from repro.core.env import RuntimeEnv
+    from repro.sim.engine import spmd_run
+
+    out = {}
+    for name, mod, config in [
+        ("sobel_steps", sobel, cfg["sobel_steps"]),
+        ("heat3d_steps", heat3d, cfg["heat3d_steps"]),
+    ]:
+        def prog(ctx, mod=mod, config=config):
+            env = RuntimeEnv(ctx, "cpu+2gpu")
+            st = env.get_stencil()
+            parameter = None if mod is sobel else heat3d.ALPHA
+            st.configure(
+                mod.make_kernel(ctx.node),
+                config.functional_shape,
+                model_shape=config.shape,
+                parameter=parameter,
+            )
+            if mod is sobel:
+                from repro.data.grids import synthetic_image
+
+                st.set_global_grid(synthetic_image(config.functional_shape, seed=config.seed))
+            else:
+                from repro.data.grids import heat3d_initial
+
+                st.set_global_grid(heat3d_initial(config.functional_shape, seed=config.seed))
+            t0 = time.perf_counter()
+            st.run(config.simulated_steps)
+            return time.perf_counter() - t0, ctx.clock.now
+
+        cluster = ohio_cluster(cfg["nodes"])
+        step_wall = float("inf")
+        makespan = None
+        for _ in range(cfg["step_repeats"]):
+            res = spmd_run(prog, cluster)
+            step_wall = min(step_wall, max(v[0] for v in res.values))
+            makespan = res.makespan
+        out[name] = {
+            "wall_s": round(step_wall, 4),
+            "makespan": makespan,
+        }
+    return out
+
+
+def bench_kmeans_emit(cfg: dict) -> dict:
+    """Isolate the Kmeans emit path: the batched kernel over all chunks.
+
+    Replays exactly the chunk sizes the GR runtime would schedule, without
+    the SPMD machinery, so this number moves only when the emit math or the
+    reduction-object insert path changes.
+    """
+    from repro.core.reduction_object import DenseReductionObject
+    from repro.data.points import clustered_points
+
+    config = cfg["kmeans"]
+    points, _ = clustered_points(config.functional_points, config.k, config.dims, seed=config.seed)
+    centers = points[: config.k].astype(np.float64)
+    emit = kmeans.make_emit(config)
+    n = len(points)
+    chunk = max(16, n // 512)
+
+    def run_emit():
+        obj = DenseReductionObject(config.k, config.dims + 1, "sum", np.float64)
+        for start in range(0, n, chunk):
+            emit(obj, points[start : start + chunk], start, centers)
+        return obj.as_array().copy()
+
+    wall, values = _best_of(cfg["repeats"], run_emit)
+    return {
+        "kmeans_emit": {
+            "wall_s": round(wall, 4),
+            "checksum": float(np.sum(values)),
+        }
+    }
+
+
+def collect(mode: str) -> dict:
+    cfg = _configs(mode)
+    record = {
+        "mode": mode,
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "git": _git_rev(),
+        "cases": {},
+    }
+    record["cases"].update(bench_apps(cfg))
+    record["cases"].update(bench_stencil_steps(cfg))
+    record["cases"].update(bench_kmeans_emit(cfg))
+    return record
+
+
+def _git_rev() -> str:
+    try:
+        return (
+            subprocess.run(
+                ["git", "rev-parse", "--short", "HEAD"],
+                cwd=REPO_ROOT,
+                capture_output=True,
+                text=True,
+                check=True,
+            ).stdout.strip()
+        )
+    except Exception:
+        return "unknown"
+
+
+def compare(record: dict, baseline_path: Path, threshold: float) -> int:
+    """Fail (non-zero) on wall-clock regression beyond ``threshold``.
+
+    Virtual makespans must match the baseline exactly — any drift means an
+    optimization changed simulated physics, which is a bug regardless of
+    wall-clock wins.
+    """
+    baseline = json.loads(baseline_path.read_text())
+    base_cases = baseline["cases"]
+    failures = []
+    for name, case in record["cases"].items():
+        base = base_cases.get(name)
+        if base is None:
+            continue
+        if "makespan" in case and "makespan" in base:
+            if case["makespan"] != base["makespan"]:
+                failures.append(
+                    f"{name}: virtual makespan drifted "
+                    f"{base['makespan']!r} -> {case['makespan']!r}"
+                )
+        ratio = case["wall_s"] / max(base["wall_s"], 1e-9)
+        if ratio > 1.0 + threshold:
+            failures.append(
+                f"{name}: wall-clock regression {base['wall_s']}s -> {case['wall_s']}s "
+                f"({ratio:.2f}x, threshold {1.0 + threshold:.2f}x)"
+            )
+    for f in failures:
+        print(f"FAIL {f}")
+    return 1 if failures else 0
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--mode", choices=["smoke", "full"], default="smoke")
+    ap.add_argument("--out", type=Path, default=None, help="write the JSON record here")
+    ap.add_argument(
+        "--baseline", type=Path, default=None, help="compare against this record and fail on regression"
+    )
+    ap.add_argument(
+        "--threshold", type=float, default=0.25, help="allowed fractional wall-clock regression"
+    )
+    args = ap.parse_args()
+
+    record = collect(args.mode)
+    print(json.dumps(record, indent=2))
+    if args.out:
+        args.out.write_text(json.dumps(record, indent=2) + "\n")
+    if args.baseline:
+        return compare(record, args.baseline, args.threshold)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

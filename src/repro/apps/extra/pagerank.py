@@ -15,7 +15,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.core.api import GRKernel, IRKernel
+from repro.core.api import GRKernel, IRKernel, emit_keys_batch
 from repro.core.env import DeviceConfig, RuntimeEnv
 from repro.data.meshes import random_mesh
 from repro.device.work import WorkModel
@@ -66,7 +66,7 @@ def norm_work() -> WorkModel:
 def contribution_batch(obj, edges: np.ndarray, edata, nodes: np.ndarray, _param) -> None:
     """ir_edge_compute_fp: push rank mass along each directed edge."""
     src = edges[:, 0]
-    obj.insert_many(edges[:, 1], nodes[src, 0] / np.maximum(nodes[src, 1], 1.0))
+    emit_keys_batch(obj, edges[:, 1], nodes[src, 0] / np.maximum(nodes[src, 1], 1.0))
 
 
 def generate_graph(config: PageRankConfig) -> np.ndarray:
@@ -100,8 +100,8 @@ def rank_program(
     gr = env.get_GR()
     gr.set_kernel(
         GRKernel(
-            lambda obj, deltas, start, p: obj.insert_many(
-                np.zeros(len(deltas), dtype=np.int64), np.abs(deltas[:, 0])
+            lambda obj, deltas, start, p: emit_keys_batch(
+                obj, np.zeros(len(deltas), dtype=np.int64), np.abs(deltas[:, 0])
             ),
             "sum",
             1,

@@ -26,7 +26,7 @@ from repro.apps.calibrate import calibrate_gpu_ratio
 from repro.apps.common import AppRun, check_functional_scale, sequential_time
 from repro.cluster.specs import ClusterSpec, NodeSpec
 from repro.core.env import DeviceConfig, RuntimeEnv
-from repro.core.api import GRKernel
+from repro.core.api import GRKernel, emit_keys_batch
 from repro.core.partition import block_partition
 from repro.data.points import clustered_points
 from repro.device.work import WorkModel
@@ -92,17 +92,31 @@ def make_work(config: KmeansConfig, node: NodeSpec) -> WorkModel:
     )
 
 
+def nearest_centers(points: np.ndarray, centers: np.ndarray) -> np.ndarray:
+    """Index of the nearest center per point (squared Euclidean distance).
+
+    Expands ``|p - c|^2`` to ``|p|^2 - 2 p.c + |c|^2`` and drops the
+    ``|p|^2`` term (constant per point, so it cannot change the argmin):
+    one BLAS matmul plus a length-``k`` bias replaces the per-axis
+    subtract/square/accumulate passes — ~2x faster at the paper's
+    ``d=3, k=40``.  Shared by the framework emit kernel and the sequential
+    oracle, so the assignment step is structurally identical in both.
+    """
+    pts = points.astype(np.float64, copy=False)
+    score = pts @ (-2.0 * centers.T)
+    score += np.einsum("ij,ij->i", centers, centers)
+    return np.argmin(score, axis=1)
+
+
 def make_emit(config: KmeansConfig):
     """The batched emit function: nearest-center assignment + accumulation."""
 
     def emit_batch(obj, points: np.ndarray, start: int, centers: np.ndarray) -> None:
-        diff = points[:, None, :].astype(np.float64) - centers[None, :, :]
-        d2 = np.einsum("nkd,nkd->nk", diff, diff)
-        keys = np.argmin(d2, axis=1)
-        vals = np.concatenate(
-            [points.astype(np.float64), np.ones((len(points), 1))], axis=1
-        )
-        obj.insert_many(keys, vals)
+        keys = nearest_centers(points, centers)
+        vals = np.empty((len(points), centers.shape[1] + 1))
+        vals[:, :-1] = points
+        vals[:, -1] = 1.0
+        emit_keys_batch(obj, keys, vals)
 
     return emit_batch
 
@@ -186,9 +200,7 @@ def sequential_reference(config: KmeansConfig) -> np.ndarray:
     centers = points[: config.k].astype(np.float64)
     pts = points.astype(np.float64)
     for _ in range(config.iterations):
-        diff = pts[:, None, :] - centers[None, :, :]
-        d2 = np.einsum("nkd,nkd->nk", diff, diff)
-        keys = np.argmin(d2, axis=1)
+        keys = nearest_centers(pts, centers)
         sums = np.zeros((config.k, config.dims))
         counts = np.zeros(config.k)
         np.add.at(sums, keys, pts)

@@ -21,7 +21,7 @@ import numpy as np
 from repro.apps.calibrate import calibrate_gpu_ratio
 from repro.apps.common import AppRun, extrapolate_steps, sequential_time
 from repro.cluster.specs import ClusterSpec, NodeSpec
-from repro.core.api import StencilKernel, shifted
+from repro.core.api import StencilKernel
 from repro.core.env import DeviceConfig, RuntimeEnv
 from repro.data.grids import synthetic_image
 from repro.device.work import WorkModel
@@ -83,20 +83,25 @@ def make_work(node: NodeSpec) -> WorkModel:
 
 
 def sobel_apply(src: np.ndarray, dst: np.ndarray, region: tuple, _param) -> None:
-    """Convolve both masks over ``region``; write gradient magnitude."""
-    gx = np.zeros_like(src[region])
-    gy = np.zeros_like(src[region])
-    for dy in (-1, 0, 1):
-        for dx in (-1, 0, 1):
-            wgt_x = GX[dy + 1, dx + 1]
-            wgt_y = GY[dy + 1, dx + 1]
-            if wgt_x == 0 and wgt_y == 0:
-                continue
-            neigh = shifted(src, region, (dy, dx))
-            if wgt_x != 0:
-                gx += wgt_x * neigh
-            if wgt_y != 0:
-                gy += wgt_y * neigh
+    """Convolve both masks over ``region``; write gradient magnitude.
+
+    Uses the separable form of the masks: with per-row sums
+    ``s = src[y, x-1] + 2*src[y, x] + src[y, x+1]`` and diffs
+    ``d = src[y, x+1] - src[y, x-1]``, the gradients are
+    ``gx = d[y-1] + 2*d[y] + d[y+1]`` and ``gy = s[y+1] - s[y-1]``
+    (the weights of :data:`GX`/:data:`GY`).  Everything runs in the grid's
+    native dtype, with less than half the array passes of the direct 3x3
+    loop — equivalent math, measurably faster wall-clock.
+    """
+    ys, xs = region
+    rows = slice(ys.start - 1, ys.stop + 1)
+    left = src[rows, xs.start - 1 : xs.stop - 1]
+    mid = src[rows, xs]
+    right = src[rows, xs.start + 1 : xs.stop + 1]
+    d = right - left
+    s = left + 2 * mid + right
+    gx = d[:-2] + 2 * d[1:-1] + d[2:]
+    gy = s[2:] - s[:-2]
     dst[region] = np.sqrt(gx * gx + gy * gy)
 
 

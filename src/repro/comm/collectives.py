@@ -11,6 +11,12 @@ SPMD contract: every rank of the communicator must invoke the same
 collectives in the same order (as with MPI); internal tags are derived from
 a per-rank invocation counter, so mismatched orders raise or deadlock
 rather than silently mismatching.
+
+Zero-copy: array payloads forwarded unmodified through a collective tree
+(bcast/gather relays) ride the point-to-point zero-copy path — the payload
+freezes the array read-only once and every hop shares that one buffer, so
+relaying costs virtual time but no functional-layer copies.  Only steps
+that combine values (reduce, scan) materialize new arrays.
 """
 
 from __future__ import annotations

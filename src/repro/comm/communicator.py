@@ -27,7 +27,7 @@ import numpy as np
 
 from repro.comm import collectives as _coll
 from repro.comm.constants import ANY_SOURCE, ANY_TAG, MAX_USER_TAG, PROC_NULL
-from repro.comm.fabric import Fabric, Message
+from repro.comm.fabric import Fabric
 from repro.comm.payload import make_payload
 from repro.sim.clock import VirtualClock
 from repro.sim.trace import Trace
@@ -146,6 +146,7 @@ class SimComm:
         tag: int = 0,
         _internal: bool = False,
         wire_bytes: float | None = None,
+        owned: bool = False,
     ) -> None:
         """Buffered eager send: snapshots ``obj`` and returns immediately.
 
@@ -155,6 +156,11 @@ class SimComm:
 
         ``wire_bytes`` overrides the charged message size (benchmarks send
         scaled-down functional payloads that stand for paper-scale data).
+
+        ``owned=True`` is the zero-copy fast path for framework-internal
+        sends: the caller transfers ownership of ``obj`` and promises not
+        to mutate it until the receiver has consumed the message, so no
+        snapshot copy is made (see :func:`repro.comm.payload.make_payload`).
         """
         self._check_peer(dest, "destination")
         if not _internal:
@@ -166,29 +172,24 @@ class SimComm:
         link = self.fabric.link(self.rank, dest)
         start = self.clock.now
         self.clock.advance(link.send_overhead)
-        payload = make_payload(obj)
+        payload = make_payload(obj, owned=owned)
         charged = payload.nbytes if wire_bytes is None else wire_bytes
-        wire_start, wire_dur = self.fabric.inject(self.rank, self.clock.now, charged, link)
-        arrival = wire_start + link.latency + wire_dur
-        self.fabric.post(
-            Message(
-                src=self.rank,
-                dst=dest,
-                tag=tag,
-                payload=payload,
-                send_time=self.clock.now,
-                arrival_time=arrival,
-                wire_duration=wire_dur,
-            )
+        arrival = self.fabric.transmit(
+            self.rank, dest, tag, payload, send_time=self.clock.now, charged=charged, link=link
         )
         if self.trace is not None:
             self.trace.record("comm", f"send->{dest}", start, arrival, tag=tag, nbytes=charged)
 
     def isend(
-        self, obj: Any, dest: int, tag: int = 0, wire_bytes: float | None = None
+        self,
+        obj: Any,
+        dest: int,
+        tag: int = 0,
+        wire_bytes: float | None = None,
+        owned: bool = False,
     ) -> SendRequest:
         """Non-blocking send (identical cost to :meth:`send` in this model)."""
-        self.send(obj, dest, tag, wire_bytes=wire_bytes)
+        self.send(obj, dest, tag, wire_bytes=wire_bytes, owned=owned)
         return SendRequest()
 
     def recv(

@@ -62,6 +62,7 @@ class Fabric:
         # traffic serializes at the endpoints (LogGP's per-byte gap G).
         self._egress = [Timeline(f"nic{r}.egress") for r in range(self.size)]
         self._ingress = [Timeline(f"nic{r}.ingress") for r in range(self.size)]
+        self._link_cache: dict[tuple[int, int], InterconnectSpec] = {}
 
     def node_of(self, rank: int) -> int:
         """Node index hosting ``rank`` (ranks are packed node-major)."""
@@ -70,8 +71,13 @@ class Fabric:
         return rank // self.ranks_per_node
 
     def link(self, src: int, dst: int) -> InterconnectSpec:
-        """The link class between two ranks."""
-        return self.cluster.link_between(self.node_of(src), self.node_of(dst))
+        """The link class between two ranks (cached; called per message)."""
+        key = (src, dst)
+        spec = self._link_cache.get(key)
+        if spec is None:
+            spec = self.cluster.link_between(self.node_of(src), self.node_of(dst))
+            self._link_cache[key] = spec
+        return spec
 
     def inject(self, src: int, ready: float, nbytes: float, link: InterconnectSpec) -> tuple[float, float]:
         """Occupy the sender's egress NIC; returns (wire_start, wire_duration).
@@ -92,6 +98,43 @@ class Fabric:
             object.__setattr__(msg, "seq", next(self._seq))
             self._queues[msg.dst].append(msg)
             self._cv[msg.dst].notify_all()
+
+    def transmit(
+        self,
+        src: int,
+        dst: int,
+        tag: int,
+        payload: Payload,
+        *,
+        send_time: float,
+        charged: float,
+        link: InterconnectSpec,
+    ) -> float:
+        """Inject + post in one critical section; returns the arrival time.
+
+        The hot path of :meth:`SimComm.send`: equivalent to
+        :meth:`inject` followed by :meth:`post`, but takes the fabric lock
+        once per message instead of twice.
+        """
+        wire = charged / link.bandwidth
+        with self._lock:
+            if self._abort_exc is not None:
+                raise CommunicationError("fabric aborted") from self._abort_exc
+            iv = self._egress[src].schedule(send_time, wire, "msg")
+            arrival = iv.start + link.latency + wire
+            msg = Message(
+                src=src,
+                dst=dst,
+                tag=tag,
+                payload=payload,
+                send_time=send_time,
+                arrival_time=arrival,
+                wire_duration=wire,
+                seq=next(self._seq),
+            )
+            self._queues[dst].append(msg)
+            self._cv[dst].notify_all()
+        return arrival
 
     def match(
         self,

@@ -27,6 +27,7 @@ class AdaptivePartitioner:
             raise ValidationError(f"n_devices must be > 0, got {n_devices}")
         self.n_devices = n_devices
         self._speeds: np.ndarray | None = None
+        self._split_cache: tuple[int, np.ndarray] | None = None
 
     @property
     def profiled(self) -> bool:
@@ -48,6 +49,11 @@ class AdaptivePartitioner:
         """
         if total < 0:
             raise ValidationError(f"total must be >= 0, got {total}")
+        # Long-running patterns split the same total every time step, and
+        # the answer only changes when a new profile is observed — memoize
+        # (callers get a copy, so they can't corrupt the cache).
+        if self._split_cache is not None and self._split_cache[0] == total:
+            return self._split_cache[1].copy()
         if self._speeds is None:
             shares = np.full(self.n_devices, 1.0 / self.n_devices)
         else:
@@ -58,7 +64,8 @@ class AdaptivePartitioner:
         if remainder > 0:
             order = np.argsort(-(exact - counts))
             counts[order[:remainder]] += 1
-        return counts
+        self._split_cache = (total, counts)
+        return counts.copy()
 
     def observe(self, counts: np.ndarray, times: np.ndarray) -> None:
         """Record one time step's (counts, times) profile.
@@ -84,3 +91,4 @@ class AdaptivePartitioner:
         )
         speeds[~worked] = fallback[~worked]
         self._speeds = speeds
+        self._split_cache = None

@@ -171,6 +171,25 @@ def shifted(arr: np.ndarray, region: tuple[slice, ...], offset: tuple[int, ...])
 
 
 # ---------------------------------------------------------------------------
+# Batched reduction dispatch
+# ---------------------------------------------------------------------------
+def emit_keys_batch(obj: Any, keys: np.ndarray, values: np.ndarray) -> None:
+    """Insert aligned ``keys``/``values`` arrays into a reduction object.
+
+    The vectorized dispatch path for emit kernels: one call replaces
+    ``len(keys)`` per-element ``obj.insert(k, v)`` calls.  ``values`` may
+    be ``(n,)`` (``value_width == 1``) or ``(n, value_width)``.  Duplicate
+    keys combine in input order (``np.bincount``/``np.ufunc.at``-style
+    unbuffered scatter under the hood), so inserting a batch into a fresh
+    object is bit-identical to the per-element loop — the compatibility
+    guarantee the :func:`elementwise_emit` adapter is tested against.
+    Out-of-range keys are dropped by the object's key-range filter, which
+    is how the paper's ownership rule stays enforced on the batched path.
+    """
+    obj.insert_many(keys, values)
+
+
+# ---------------------------------------------------------------------------
 # Per-element adapters (paper-faithful signatures)
 # ---------------------------------------------------------------------------
 def elementwise_emit(fn: Callable[[Any, np.ndarray, int, Any], None]) -> EmitBatchFn:

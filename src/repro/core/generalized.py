@@ -98,6 +98,11 @@ class GeneralizedReductionRuntime:
 
         ``emit(obj, input, index, parameter)`` is wrapped by
         :func:`~repro.core.api.elementwise_emit` unless ``batched=True``.
+        With ``batched=True``, ``emit`` is already a batch function
+        ``emit(obj, data, start, parameter)`` covering a whole chunk —
+        typically ending in one :func:`~repro.core.api.emit_keys_batch`
+        call, which is bit-identical to the per-element loop but avoids
+        the Python-level dispatch per input unit.
         """
         emit_batch = emit if batched else elementwise_emit(emit)
         self.set_kernel(

@@ -66,7 +66,7 @@ class ScheduleReport:
         return out
 
     def load_imbalance(self) -> float:
-        """(makespan - mean finish) / makespan; 0 means perfectly even."""
+        """(makespan - mean finish) / (makespan - start); 0 means perfectly even."""
         if not self.workers or self.makespan <= self.start:
             return 0.0
         mean_finish = sum(w.finish for w in self.workers) / len(self.workers)

@@ -7,10 +7,13 @@ Grid decomposition and execution flow:
   style balanced factorization).  Each process holds its sub-grid with a
   halo-padded allocation.
 - **Halo exchange (Fig. 4 steps 1–5)**: per axis and direction, the
-  boundary strips are packed into contiguous buffers (CPU: strip memcpy;
-  GPU: a zero-copy kernel writing a host-mapped buffer, charged on the
-  copy engine), sent with non-blocking messages, and unpacked into halo
-  slabs on completion (GPU: host buffer → device copy + scatter kernel).
+  boundary strips are packed into *preallocated, parity double-buffered*
+  contiguous buffers (CPU: strip memcpy; GPU: a zero-copy kernel writing a
+  host-mapped buffer, charged on the copy engine), sent zero-copy
+  (``owned=True``) with non-blocking messages, and received directly into
+  the halo slabs via ``irecv(out=...)`` — the wall-clock path does one
+  copy on each end, while the *charged* pack/unpack costs (GPU: host
+  buffer → device copy + scatter kernel) are unchanged.
 - **Overlap**: inner elements — those at least ``halo`` away from the
   sub-grid boundary — depend only on local data and are computed
   concurrently with the exchange; boundary elements run after (steps 3/7).
@@ -187,6 +190,33 @@ class StencilRuntime:
         self._src = np.zeros(padded, dtype=kernel.dtype)
         self._dst = np.zeros(padded, dtype=kernel.dtype)
         self.interior = tuple(slice(h, h + ext) for ext in self.local_shape)
+
+        # Pooled halo-exchange state, fixed for the lifetime of this
+        # configuration: per-axis neighbour ranks, cached face slices and
+        # model-scale wire sizes, and preallocated contiguous send strips.
+        # Send strips are double-buffered by timestep parity: the strip a
+        # message was packed into is not reused until two steps later, by
+        # which point the neighbour has provably consumed it (its next-step
+        # send on this axis cannot happen before it filled this step's
+        # halos).  Packed strips are therefore sent with ``owned=True`` —
+        # no snapshot copy — and receives land straight in the halo slabs
+        # via ``irecv(out=...)``.
+        self._neighbors = [self.cart.shift(ax, 1) for ax in range(ndim)]
+        self._send_slices = {}
+        self._halo_slices = {}
+        self._send_bufs = {}
+        for ax in range(ndim):
+            for side in (-1, +1):
+                self._send_slices[(ax, side)] = self._face_slices(ax, side, False)
+                self._halo_slices[(ax, side)] = self._face_slices(ax, side, True)
+                strip_shape = tuple(
+                    sl.stop - sl.start for sl in self._send_slices[(ax, side)]
+                )
+                for parity in (0, 1):
+                    self._send_bufs[(ax, side, parity)] = np.empty(
+                        strip_shape, dtype=kernel.dtype
+                    )
+        self._face_wire = [self._face_bytes_model(ax) for ax in range(ndim)]
         self._fields: dict[str, np.ndarray] = {}
         if static_fields:
             for name, field in static_fields.items():
@@ -201,6 +231,13 @@ class StencilRuntime:
         self._rows = None
         self._timestep = 0
         self._configured = True
+        # Region lists and element totals are fixed for this configuration;
+        # cache them so the step loop doesn't rebuild slice tuples or
+        # recount elements every iteration.
+        self._inner = self._inner_region()
+        self._boundary = self._boundary_regions()
+        self._inner_elems = self._region_elems(self._inner)
+        self._boundary_elems = sum(self._region_elems(r) for r in self._boundary)
 
     def set_global_grid(self, grid: np.ndarray) -> None:
         """Load this rank's block from the (identical-on-all-ranks) grid."""
@@ -317,9 +354,11 @@ class StencilRuntime:
         """
         env = self.env
         ready = env.clock.now
-        total_bytes = self._face_bytes_model(axis)
+        total_bytes = self._face_wire[axis]
         n_dev = len(env.devices)
-        shares = rows / max(1, rows.sum()) if axis != 0 else None
+        # tolist(): keep the per-device shares python floats — numpy scalars
+        # leaking into the time arithmetic slow every max()/schedule() call.
+        shares = (rows / max(1, int(rows.sum()))).tolist() if axis != 0 else None
         for d, dev in enumerate(env.devices):
             if axis == 0:
                 # Only the device owning the outermost rows packs this face;
@@ -343,37 +382,42 @@ class StencilRuntime:
     def _send_axis(self, axis: int, rows: np.ndarray) -> None:
         """Pack and send this axis' two strips (Fig. 4 steps 1-2)."""
         comm = self.env.comm
-        low_src, high_dst = self.cart.shift(axis, 1)
+        low_src, high_dst = self._neighbors[axis]
         if low_src == PROC_NULL and high_dst == PROC_NULL:
             return
         pack_done = self._pack_cost(axis, rows)
         self.env.clock.advance_to(pack_done)
-        wire = self._face_bytes_model(axis)
+        wire = self._face_wire[axis]
+        parity = self._timestep & 1
         if high_dst != PROC_NULL:
-            strip = np.ascontiguousarray(self._src[self._face_slices(axis, +1, False)])
-            comm.isend(strip, high_dst, _TAG_HALO + axis, wire_bytes=wire)
+            strip = self._send_bufs[(axis, +1, parity)]
+            np.copyto(strip, self._src[self._send_slices[(axis, +1)]])
+            comm.isend(strip, high_dst, _TAG_HALO + axis, wire_bytes=wire, owned=True)
         if low_src != PROC_NULL:
-            strip = np.ascontiguousarray(self._src[self._face_slices(axis, -1, False)])
-            comm.isend(strip, low_src, _TAG_HALO + axis, wire_bytes=wire)
+            strip = self._send_bufs[(axis, -1, parity)]
+            np.copyto(strip, self._src[self._send_slices[(axis, -1)]])
+            comm.isend(strip, low_src, _TAG_HALO + axis, wire_bytes=wire, owned=True)
 
     def _post_axis_recvs(self, axis: int) -> list[tuple[int, int, Any]]:
+        """Post this axis' receives straight into the halo slabs (no unpack
+        copy: ``deliver`` writes the non-contiguous slab view in place)."""
         comm = self.env.comm
         recvs = []
-        low_src, high_dst = self.cart.shift(axis, 1)
+        low_src, high_dst = self._neighbors[axis]
         if low_src != PROC_NULL:
-            recvs.append((axis, -1, comm.irecv(source=low_src, tag=_TAG_HALO + axis)))
+            out = self._src[self._halo_slices[(axis, -1)]]
+            recvs.append((axis, -1, comm.irecv(source=low_src, tag=_TAG_HALO + axis, out=out)))
         if high_dst != PROC_NULL:
-            recvs.append((axis, +1, comm.irecv(source=high_dst, tag=_TAG_HALO + axis)))
+            out = self._src[self._halo_slices[(axis, +1)]]
+            recvs.append((axis, +1, comm.irecv(source=high_dst, tag=_TAG_HALO + axis, out=out)))
         return recvs
 
     def _fill_halos(self, recvs: list[tuple[int, int, Any]]) -> None:
-        """Wait for halo data, fill slabs, charge unpack (steps 4-5)."""
+        """Wait for halo data (delivered into the slabs), charge unpack (4-5)."""
         env = self.env
         for axis, side, req in recvs:
-            data = req.wait()
-            slab = self._face_slices(axis, side, True)
-            self._src[slab] = np.asarray(data).reshape(self._src[slab].shape)
-            nbytes = self._face_bytes_model(axis)
+            req.wait()
+            nbytes = self._face_wire[axis]
             unpack_end = env.clock.now
             for dev in env.devices:
                 if isinstance(dev, GPUDevice):
@@ -455,29 +499,28 @@ class StencilRuntime:
             )
         return work.replace(gpu_efficiency=work.gpu_efficiency * UNTILED_GPU_EFF_FACTOR)
 
-    def _compute_regions(
+    def _charge_regions(
         self,
-        regions: list[tuple[slice, ...]],
+        total: int,
+        n_regions: int,
         rows: np.ndarray,
         phase: str,
         ready: float,
     ) -> tuple[float, np.ndarray]:
-        """Run the kernel on ``regions``; charge per-device times.
+        """Charge per-device virtual time for computing ``total`` elements
+        spread over ``n_regions`` regions.
 
-        The functional kernel applies once per region (device splitting
-        never changes the math); costs are split by each device's share of
-        the axis-0 rows.  Returns (finish time, per-device busy seconds).
+        Cost accounting only — the functional math runs separately (one
+        fused kernel apply per step in :meth:`step`), because region
+        fragmentation is a *virtual* concern: launch counts and per-device
+        shares feed the cost model, while numpy runs fastest over the whole
+        interior box.  Costs are split by each device's share of the axis-0
+        rows.  Returns (finish time, per-device busy seconds).
         """
         env = self.env
-        kernel = self._kernel
-        total = 0
-        parameter = self._effective_parameter()
-        for region in regions:
-            kernel.apply(self._src, self._dst, region, parameter)
-            total += self._region_elems(region)
         busy = np.zeros(len(env.devices))
         finish = ready
-        shares = rows / max(1, rows.sum())
+        shares = (rows / max(1, int(rows.sum()))).tolist()
         for d, dev in enumerate(env.devices):
             n_model = total * shares[d] * self._elem_scale
             if n_model <= 0:
@@ -486,7 +529,7 @@ class StencilRuntime:
             if isinstance(dev, GPUDevice):
                 # Tiling groups all boundary planes into one launch; without
                 # it each face costs its own kernel launch.
-                launches = 1 if (self.tiling or phase != "boundary") else len(regions)
+                launches = 1 if (self.tiling or phase != "boundary") else n_regions
                 dur = launches * dev.spec.kernel_launch_overhead + n_model * dev.elem_time(
                     work, framework=True
                 )
@@ -516,25 +559,37 @@ class StencilRuntime:
         self._rows = rows
 
         recvs = self._begin_exchange()
-        inner = self._inner_region()
-        boundary = self._boundary_regions()
+        n_bound = len(self._boundary)
 
         if self.overlap:
-            inner_done, busy_inner = self._compute_regions([inner], rows, "inner", clock.now)
+            inner_done, busy_inner = self._charge_regions(
+                self._inner_elems, 1, rows, "inner", clock.now
+            )
             self._finish_exchange(recvs)
             dev_xchg_done = self._interdevice_exchange(clock.now)
             ready = max(inner_done, dev_xchg_done)
-            bound_done, busy_bound = self._compute_regions(boundary, rows, "boundary", ready)
+            bound_done, busy_bound = self._charge_regions(
+                self._boundary_elems, n_bound, rows, "boundary", ready
+            )
             end = max(inner_done, bound_done)
         else:
             self._finish_exchange(recvs)
             dev_xchg_done = self._interdevice_exchange(clock.now)
-            inner_done, busy_inner = self._compute_regions([inner], rows, "inner", dev_xchg_done)
-            bound_done, busy_bound = self._compute_regions(
-                boundary, rows, "boundary", inner_done
+            inner_done, busy_inner = self._charge_regions(
+                self._inner_elems, 1, rows, "inner", dev_xchg_done
+            )
+            bound_done, busy_bound = self._charge_regions(
+                self._boundary_elems, n_bound, rows, "boundary", inner_done
             )
             end = bound_done
         clock.advance_to(end)
+
+        # Functional math, decoupled from the virtual charges above: one
+        # fused kernel apply over the whole interior once the halos are in.
+        # Elementwise stencil updates give bit-identical results whether
+        # the interior is computed as one box or as inner + boundary slabs,
+        # and numpy is much faster over the single large box.
+        self._kernel.apply(self._src, self._dst, self.interior, self._effective_parameter())
 
         if self.adaptive and not self._partitioner.profiled:
             busy = busy_inner + busy_bound

@@ -85,9 +85,8 @@ class CPUDevice(Device):
         return self._workers
 
     def reset(self, start: float = 0.0) -> None:
-        self._workers = [
-            Timeline(f"cpu{self.index}.core{c}", start=start) for c in range(self.spec.cores)
-        ]
+        for worker in self._workers:
+            worker.reset(start)
 
     @property
     def speed_hint(self) -> float:

@@ -151,8 +151,8 @@ class GPUDevice(Device):
         return [self.copy_engine, self.compute_engine]
 
     def reset(self, start: float = 0.0) -> None:
-        self.copy_engine = Timeline(f"gpu{self.index}.copy", start=start)
-        self.compute_engine = Timeline(f"gpu{self.index}.compute", start=start)
+        self.copy_engine.reset(start)
+        self.compute_engine.reset(start)
 
     @property
     def speed_hint(self) -> float:

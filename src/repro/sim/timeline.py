@@ -14,9 +14,14 @@ from dataclasses import dataclass
 from repro.util.errors import ValidationError
 
 
-@dataclass(frozen=True)
+@dataclass(slots=True)
 class Interval:
-    """One scheduled busy interval."""
+    """One scheduled busy interval (append-only; treat as immutable).
+
+    A plain slotted dataclass rather than a frozen one: timelines create
+    one per scheduled item on the simulation hot path, and frozen
+    dataclasses pay ``object.__setattr__`` per field on construction.
+    """
 
     start: float
     end: float
@@ -59,6 +64,12 @@ class Timeline:
         ``max(ready, available_at)`` and the resource is then busy until its
         end.
         """
+        # Coerce to python floats: callers sometimes hand in numpy scalars,
+        # and letting them propagate through interval endpoints makes every
+        # later comparison an order of magnitude slower.  Bit-identical —
+        # both are IEEE doubles.
+        ready = float(ready)
+        duration = float(duration)
         if duration < 0:
             raise ValidationError(f"duration must be >= 0, got {duration}")
         if ready < 0:
@@ -69,6 +80,17 @@ class Timeline:
         self._available_at = interval.end
         self._busy += duration
         return interval
+
+    def reset(self, start: float = 0.0) -> None:
+        """Clear all scheduled state, as if freshly constructed at ``start``.
+
+        Devices reset their engine timelines every stencil step; reusing
+        the object (instead of constructing a new one) keeps the per-step
+        allocation count flat.
+        """
+        self._available_at = float(start)
+        self._intervals.clear()
+        self._busy = 0.0
 
     def idle_time(self, horizon: float | None = None) -> float:
         """Idle seconds up to ``horizon`` (default: last finish time)."""

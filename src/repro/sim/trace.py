@@ -14,9 +14,13 @@ from dataclasses import dataclass, field
 from typing import Any, Iterable, Iterator
 
 
-@dataclass(frozen=True)
+@dataclass(slots=True)
 class TraceEvent:
-    """One traced span of virtual time on one rank."""
+    """One traced span of virtual time on one rank (treat as immutable).
+
+    Slotted but not frozen: runtimes record events on the simulation hot
+    path, and frozen dataclasses pay ``object.__setattr__`` per field.
+    """
 
     rank: int
     category: str

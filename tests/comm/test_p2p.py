@@ -175,3 +175,77 @@ def test_waitall_returns_in_order():
         return None
 
     assert run_spmd(prog, nodes=2).values[0] == ["one", "two"]
+
+
+def test_sender_mutation_after_isend_does_not_leak():
+    # The send snapshots (or freezes) the payload at isend time: mutating
+    # the source buffer afterwards must not change what the receiver sees.
+    def prog(ctx):
+        if ctx.rank == 0:
+            buf = np.arange(6.0)
+            ctx.comm.isend(buf, 1, tag=0)
+            buf[:] = -1.0  # mutate immediately, before the receiver runs
+            ctx.comm.send("mutated", 1, tag=1)
+            return None
+        got = ctx.comm.recv(source=0, tag=0)
+        ctx.comm.recv(source=0, tag=1)  # sender has mutated by now
+        return got.copy()
+
+    got = run_spmd(prog, nodes=2).values[1]
+    np.testing.assert_array_equal(got, np.arange(6.0))
+
+
+def test_received_array_view_is_readonly():
+    # Without out=, the receiver gets a read-only view of the snapshot:
+    # writing through it must fail rather than corrupt the payload.
+    def prog(ctx):
+        if ctx.rank == 0:
+            ctx.comm.send(np.ones(4), 1, tag=0)
+            return None
+        got = ctx.comm.recv(source=0, tag=0)
+        try:
+            got[0] = 99.0
+        except ValueError:
+            return "readonly"
+        return "writable"
+
+    assert run_spmd(prog, nodes=2).values[1] == "readonly"
+
+
+def test_recv_into_out_buffer_is_caller_owned():
+    # With out=, the data lands in the caller's buffer, which stays
+    # writable and is the same object that was passed in.
+    def prog(ctx):
+        if ctx.rank == 0:
+            ctx.comm.send(np.arange(4.0), 1, tag=0)
+            return None
+        out = np.empty(4)
+        got = ctx.comm.recv(source=0, tag=0, out=out)
+        out[0] += 1.0  # caller-owned: writing must be allowed
+        return got is out, out.copy()
+
+    same, out = run_spmd(prog, nodes=2).values[1]
+    assert same
+    np.testing.assert_array_equal(out, [1.0, 1.0, 2.0, 3.0])
+
+
+def test_recv_out_into_strided_slab_matches_copy_path():
+    # Pooled halo ingestion: receiving straight into a non-contiguous slab
+    # view with out= must land the exact bytes the plain recv + np.copyto
+    # path produces.
+    def prog(ctx):
+        if ctx.rank == 0:
+            strip = np.arange(8.0) * 1.7
+            ctx.comm.send(strip, 1, tag=0)
+            ctx.comm.send(strip, 1, tag=1)
+            return None
+        copy_grid = np.zeros((8, 3))
+        out_grid = np.zeros((8, 3))
+        got = ctx.comm.recv(source=0, tag=0)
+        np.copyto(copy_grid[:, 0], got)  # manual copy path
+        ctx.comm.recv(source=0, tag=1, out=out_grid[:, 0])  # strided out=
+        return copy_grid, out_grid
+
+    copy_grid, out_grid = run_spmd(prog, nodes=2).values[1]
+    np.testing.assert_array_equal(copy_grid, out_grid)
+    np.testing.assert_array_equal(out_grid[:, 0], np.arange(8.0) * 1.7)

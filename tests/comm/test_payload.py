@@ -1,9 +1,9 @@
-"""Payload snapshot semantics."""
+"""Payload snapshot semantics (zero-copy: snapshot once, deliver views)."""
 
 import numpy as np
 import pytest
 
-from repro.comm.payload import make_payload
+from repro.comm.payload import estimate_nbytes, make_payload
 
 
 def test_array_payload_snapshots_sender_buffer():
@@ -18,11 +18,36 @@ def test_array_nbytes():
     assert make_payload(np.zeros((2, 3), dtype=np.float32)).nbytes == 24
 
 
-def test_deliver_returns_fresh_copy_each_time():
+def test_deliver_returns_readonly_view():
     payload = make_payload(np.arange(3.0))
     a = payload.deliver()
-    a[:] = 99
+    assert not a.flags.writeable
+    with pytest.raises(ValueError):
+        a[:] = 99  # receivers cannot corrupt in-flight state
     np.testing.assert_array_equal(payload.deliver(), np.arange(3.0))
+
+
+def test_sender_buffer_stays_writeable():
+    buf = np.arange(4.0)
+    make_payload(buf)
+    assert buf.flags.writeable
+    buf[:] = 7  # and mutating it does not disturb the snapshot
+
+
+def test_readonly_input_is_forwarded_without_copy():
+    buf = np.arange(4.0)
+    buf.setflags(write=False)
+    payload = make_payload(buf)
+    assert payload.data is buf  # already immutable: zero-copy
+    assert not payload.deliver().flags.writeable
+
+
+def test_owned_array_is_not_copied():
+    buf = np.arange(6.0)
+    payload = make_payload(buf, owned=True)
+    assert payload.data.base is buf  # read-only view, no data copy
+    assert not payload.deliver().flags.writeable
+    assert buf.flags.writeable  # ownership transfer, not a flag flip
 
 
 def test_deliver_into_out_buffer():
@@ -33,17 +58,35 @@ def test_deliver_into_out_buffer():
     np.testing.assert_array_equal(out, np.arange(6.0))
 
 
+def test_deliver_into_noncontiguous_out():
+    payload = make_payload(np.arange(6.0).reshape(2, 3))
+    backing = np.zeros((4, 3))
+    out = backing[::2]  # a strided view, like a halo slab
+    payload.deliver(out)
+    np.testing.assert_array_equal(backing[::2], np.arange(6.0).reshape(2, 3))
+    np.testing.assert_array_equal(backing[1::2], 0)
+
+
 def test_deliver_out_shape_mismatch():
     payload = make_payload(np.arange(6.0))
     with pytest.raises(ValueError, match="elements"):
         payload.deliver(np.zeros(5))
 
 
-def test_object_payload_deep_copied():
+def test_object_payload_container_snapshot():
     obj = {"a": [1, 2, 3]}
     payload = make_payload(obj)
     obj["a"].append(4)
     assert payload.deliver() == {"a": [1, 2, 3]}
+
+
+def test_object_payload_snapshots_nested_arrays():
+    arr = np.arange(3.0)
+    payload = make_payload({"x": arr})
+    arr[:] = -1
+    delivered = payload.deliver()
+    np.testing.assert_array_equal(delivered["x"], np.arange(3.0))
+    assert not delivered["x"].flags.writeable
 
 
 def test_object_into_array_buffer_rejected():
@@ -60,3 +103,20 @@ def test_scalar_payload():
 
 def test_none_payload():
     assert make_payload(None).deliver() is None
+
+
+def test_estimate_nbytes():
+    assert estimate_nbytes(np.zeros(10)) == 80
+    assert estimate_nbytes(3.5) == 8
+    assert estimate_nbytes("abcd") == 4
+    assert estimate_nbytes(b"abc") == 3
+    # Containers: per-slot overhead + contents; arrays dominate.
+    est = estimate_nbytes({"k": np.zeros(100)})
+    assert est >= 800
+    assert estimate_nbytes([np.zeros(4), np.zeros(4)]) >= 64
+
+
+def test_object_nbytes_counts_nested_arrays():
+    small = make_payload((0, np.zeros(2)))
+    big = make_payload((0, np.zeros(2000)))
+    assert big.nbytes - small.nbytes == (2000 - 2) * 8

@@ -10,6 +10,7 @@ from repro.core.api import (
     StencilKernel,
     elementwise_edge_compute,
     elementwise_emit,
+    emit_keys_batch,
     elementwise_stencil,
     resolve_op,
     shifted,
@@ -108,3 +109,39 @@ def test_stencil_kernel_validation():
         StencilKernel(lambda *a: None, 0, WORK)
     k = StencilKernel(lambda *a: None, 2, WORK)
     assert k.halo == 2
+
+
+def test_emit_keys_batch_bit_identical_to_insert_loop():
+    # The compatibility contract of the batched dispatch path: inserting a
+    # batch into a fresh object yields *bit-identical* state to the
+    # per-element insert loop, including duplicate-key combining order and
+    # the key-range drop counters.
+    rng = np.random.default_rng(7)
+    keys = rng.integers(-3, 12, size=200)  # includes out-of-range on both ends
+    values = rng.random((200, 2))
+
+    batched = DenseReductionObject(8, 2, "sum")
+    emit_keys_batch(batched, keys, values)
+
+    looped = DenseReductionObject(8, 2, "sum")
+    for k, v in zip(keys, values):
+        looped.insert(int(k), v)
+
+    np.testing.assert_array_equal(batched.as_array(), looped.as_array())
+    assert (batched.n_inserts, batched.n_dropped) == (looped.n_inserts, looped.n_dropped)
+
+
+def test_emit_keys_batch_bit_identical_non_sum_path():
+    # Same contract on the ufunc.at scatter path (no bincount fast path).
+    rng = np.random.default_rng(11)
+    keys = rng.integers(0, 5, size=64)
+    values = rng.random(64)
+
+    batched = DenseReductionObject(5, 1, "max")
+    emit_keys_batch(batched, keys, values)
+
+    looped = DenseReductionObject(5, 1, "max")
+    for k, v in zip(keys, values):
+        looped.insert(int(k), float(v))
+
+    np.testing.assert_array_equal(batched.as_array(), looped.as_array())

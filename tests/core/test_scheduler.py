@@ -93,6 +93,31 @@ def test_load_imbalance_metric():
     assert 0.0 <= report.load_imbalance() < 0.5
 
 
+def test_load_imbalance_formula():
+    # Pin the exact formula: (makespan - mean finish) / (makespan - start).
+    # Offset start so a "/ makespan" regression would show immediately.
+    from repro.core.scheduler import ScheduleReport, WorkerReport
+
+    dev = _cpu()
+    report = ScheduleReport(
+        start=2.0,
+        makespan=6.0,
+        workers=[
+            WorkerReport(name="a", device=dev, finish=6.0),
+            WorkerReport(name="b", device=dev, finish=4.0),
+        ],
+    )
+    # mean finish = 5.0 -> (6 - 5) / (6 - 2) = 0.25, not (6 - 5) / 6.
+    assert report.load_imbalance() == pytest.approx(0.25)
+
+    even = ScheduleReport(
+        start=2.0,
+        makespan=6.0,
+        workers=[WorkerReport(name="a", device=dev, finish=6.0)],
+    )
+    assert even.load_imbalance() == 0.0
+
+
 def test_validation():
     sched = ChunkScheduler([_cpu()])
     with pytest.raises(ValidationError):
