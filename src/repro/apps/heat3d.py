@@ -121,13 +121,26 @@ def rank_program(
     *,
     overlap: bool = True,
     tiling: bool = True,
+    reliable: bool = False,
+    checkpoint_every: int | None = None,
 ) -> dict:
     """SPMD body: run ``simulated_steps`` stencil steps, report per-step times.
 
     The benchmark extrapolates the measured steady-state step time to the
     paper's full iteration count (see
     :func:`repro.apps.common.extrapolate_steps`).
+
+    ``reliable`` wraps the rank's communicator in
+    :class:`~repro.comm.reliable.ReliableComm` so the run completes
+    bit-identically under a lossy fault plan; ``checkpoint_every`` drives
+    the step loop through a :class:`~repro.core.checkpoint.CheckpointManager`
+    (snapshot cadence in iterations) so an injected rank crash recovers
+    from the last checkpoint instead of failing the run.
     """
+    if reliable:
+        from repro.comm.reliable import ReliableComm
+
+        ctx.comm = ReliableComm(ctx.comm)
     env = RuntimeEnv(ctx, mix)
     st = env.get_stencil(overlap=overlap, tiling=tiling)
     st.configure(
@@ -137,14 +150,30 @@ def rank_program(
         parameter=ALPHA,
     )
     st.set_global_grid(heat3d_initial(config.functional_shape, seed=config.seed))
-    step_times = []
-    for _ in range(config.simulated_steps):
+    step_times: list[float] = []
+    recoveries = 0
+
+    def one_step(_it: int) -> None:
         t0 = ctx.clock.now
         st.step()
         step_times.append(ctx.clock.now - t0)
+
+    if checkpoint_every is not None:
+        from repro.core.checkpoint import CheckpointManager
+
+        mgr = CheckpointManager(ctx, every=checkpoint_every)
+        mgr.run_iterations(
+            config.simulated_steps, one_step, st.snapshot_state, st.restore_state
+        )
+        recoveries = mgr.recoveries
+    else:
+        for it in range(config.simulated_steps):
+            one_step(it)
     grid = st.gather_global()
     env.finalize()
-    return {"steps": step_times, "grid": grid}
+    if reliable:
+        ctx.comm.flush()
+    return {"steps": step_times, "grid": grid, "recoveries": recoveries}
 
 
 def run(
@@ -154,6 +183,8 @@ def run(
     *,
     overlap: bool = True,
     tiling: bool = True,
+    reliable: bool = False,
+    checkpoint_every: int | None = None,
     **spmd_kwargs,
 ) -> AppRun:
     """Run Heat3D and report the extrapolated full-run makespan."""
@@ -162,7 +193,12 @@ def run(
         rank_program,
         cluster,
         args=(config, mix),
-        kwargs={"overlap": overlap, "tiling": tiling},
+        kwargs={
+            "overlap": overlap,
+            "tiling": tiling,
+            "reliable": reliable,
+            "checkpoint_every": checkpoint_every,
+        },
         **spmd_kwargs,
     )
     per_rank_totals = [

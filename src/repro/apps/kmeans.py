@@ -141,13 +141,30 @@ def _new_centers(combined: np.ndarray, old: np.ndarray) -> np.ndarray:
 
 
 def rank_program(
-    ctx: RankContext, config: KmeansConfig, mix: str | DeviceConfig = "cpu+2gpu"
+    ctx: RankContext,
+    config: KmeansConfig,
+    mix: str | DeviceConfig = "cpu+2gpu",
+    *,
+    reliable: bool = False,
+    checkpoint_every: int | None = None,
 ) -> np.ndarray:
-    """SPMD body: one (or more) Kmeans iterations via the GR runtime."""
+    """SPMD body: one (or more) Kmeans iterations via the GR runtime.
+
+    ``reliable`` wraps the communicator in
+    :class:`~repro.comm.reliable.ReliableComm` (bit-identical results
+    under lossy fault plans); ``checkpoint_every`` runs the iteration loop
+    under a :class:`~repro.core.checkpoint.CheckpointManager` — the
+    evolving state is just the centers array, so a crashed rank rolls the
+    whole group back to the last snapshot of the centers.
+    """
+    if reliable:
+        from repro.comm.reliable import ReliableComm
+
+        ctx.comm = ReliableComm(ctx.comm)
     points, _true = clustered_points(
         config.functional_points, config.k, config.dims, seed=config.seed
     )
-    centers = points[: config.k].astype(np.float64)  # standard first-k init
+    state = {"centers": points[: config.k].astype(np.float64)}  # first-k init
 
     env = RuntimeEnv(ctx, mix)
     gr = env.get_GR(chunk_elems=config.chunk_elems)
@@ -156,29 +173,55 @@ def rank_program(
     offsets = block_partition(len(points), ctx.size)
     lo, hi = int(offsets[ctx.rank]), int(offsets[ctx.rank + 1])
     model_share = config.n_points // ctx.size
-    for _ in range(config.iterations):
+
+    def one_iteration(_it: int) -> None:
         gr.set_input(
             points[lo:hi],
             global_start=lo,
             model_local_elems=model_share,
-            parameter=centers,
+            parameter=state["centers"],
         )
         gr.start()
         combined = gr.get_global_reduction(bcast=True)
-        centers = _new_centers(combined, centers)
+        state["centers"] = _new_centers(combined, state["centers"])
+
+    if checkpoint_every is not None:
+        from repro.core.checkpoint import CheckpointManager
+
+        mgr = CheckpointManager(ctx, every=checkpoint_every)
+        mgr.run_iterations(
+            config.iterations,
+            one_iteration,
+            lambda: state["centers"].copy(),
+            lambda s: state.__setitem__("centers", s.copy()),
+        )
+    else:
+        for it in range(config.iterations):
+            one_iteration(it)
     env.finalize()
-    return centers
+    if reliable:
+        ctx.comm.flush()
+    return state["centers"]
 
 
 def run(
     cluster: ClusterSpec,
     config: KmeansConfig | None = None,
     mix: str | DeviceConfig = "cpu+2gpu",
+    *,
+    reliable: bool = False,
+    checkpoint_every: int | None = None,
     **spmd_kwargs,
 ) -> AppRun:
     """Run Kmeans on ``cluster`` and report makespan + speedup basis."""
     config = config or KmeansConfig()
-    result = spmd_run(rank_program, cluster, args=(config, mix), **spmd_kwargs)
+    result = spmd_run(
+        rank_program,
+        cluster,
+        args=(config, mix),
+        kwargs={"reliable": reliable, "checkpoint_every": checkpoint_every},
+        **spmd_kwargs,
+    )
     seq = sequential_time(
         base_work(config), config.n_points, cluster.node, config.iterations
     )

@@ -85,6 +85,38 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="disable communication/computation overlap (Moldyn/MiniMD/stencils)",
     )
+    flt = run_p.add_argument_group(
+        "fault injection (heat3d and kmeans; runs over the reliable comm layer)"
+    )
+    flt.add_argument(
+        "--fault-seed",
+        type=int,
+        default=None,
+        metavar="N",
+        help="enable a deterministic fault plan with this seed",
+    )
+    flt.add_argument("--drop", type=float, default=0.05, help="message drop probability")
+    flt.add_argument("--dup", type=float, default=0.02, help="message duplicate probability")
+    flt.add_argument("--delay", type=float, default=0.05, help="message extra-delay probability")
+    flt.add_argument(
+        "--max-delay", type=float, default=1e-4, help="max extra delay in virtual seconds"
+    )
+    flt.add_argument(
+        "--crash-rank", type=int, default=None, metavar="R", help="rank to crash once"
+    )
+    flt.add_argument(
+        "--crash-at", type=float, default=0.0, metavar="T", help="virtual crash time (s)"
+    )
+    flt.add_argument(
+        "--restart-cost", type=float, default=1.0, help="virtual restart stall (s)"
+    )
+    flt.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=None,
+        metavar="K",
+        help="snapshot every K iterations (required with --crash-rank)",
+    )
 
     fig_p = sub.add_parser("figure", help="regenerate one paper table/figure")
     fig_p.add_argument("which", choices=sorted(_FIGURES))
@@ -114,18 +146,59 @@ def cmd_info() -> str:
     return "\n".join(lines)
 
 
+_FAULT_APPS = ("heat3d", "kmeans")
+
+
 def cmd_run(args: argparse.Namespace) -> str:
     cluster = ohio_cluster(args.nodes)
     kwargs = {}
     if args.app in ("moldyn", "minimd", "sobel", "heat3d") and args.no_overlap:
         kwargs["overlap"] = False
+    plan = None
+    if args.fault_seed is not None:
+        from repro.faults import FaultPlan, RankCrash
+
+        if args.app not in _FAULT_APPS:
+            raise SystemExit(
+                f"fault injection supports {', '.join(_FAULT_APPS)}, not {args.app}"
+            )
+        crashes = []
+        if args.crash_rank is not None:
+            if args.checkpoint_every is None:
+                raise SystemExit("--crash-rank requires --checkpoint-every")
+            crashes.append(
+                RankCrash(
+                    rank=args.crash_rank,
+                    at_time=args.crash_at,
+                    restart_cost=args.restart_cost,
+                )
+            )
+        plan = FaultPlan.lossy(
+            seed=args.fault_seed,
+            drop=args.drop,
+            dup=args.dup,
+            delay=args.delay,
+            max_delay=args.max_delay,
+            crashes=crashes,
+        )
+        kwargs["reliable"] = True
+        kwargs["fault_plan"] = plan
+        if args.checkpoint_every is not None:
+            kwargs["checkpoint_every"] = args.checkpoint_every
     run = _APPS[args.app](cluster, mix=args.mix, **kwargs)
-    return (
-        f"{args.app} on {args.nodes} node(s), {args.mix}:\n"
-        f"  simulated time : {fmt_seconds(run.makespan)}\n"
-        f"  sequential time: {fmt_seconds(run.seq_time)} (modeled, 1 core)\n"
-        f"  speedup        : {run.speedup:.1f}x"
-    )
+    lines = [
+        f"{args.app} on {args.nodes} node(s), {args.mix}:",
+        f"  simulated time : {fmt_seconds(run.makespan)}",
+        f"  sequential time: {fmt_seconds(run.seq_time)} (modeled, 1 core)",
+        f"  speedup        : {run.speedup:.1f}x",
+    ]
+    if plan is not None:
+        s = plan.stats
+        lines.append(
+            f"  faults         : seed={args.fault_seed} drops={s.drops} "
+            f"dups={s.duplicates} delays={s.delays} crashes={s.crashes_consumed}"
+        )
+    return "\n".join(lines)
 
 
 def main(argv: list[str] | None = None) -> int:

@@ -22,6 +22,7 @@ their :class:`~repro.cluster.specs.InterconnectSpec`.
 from repro.comm.constants import ANY_SOURCE, ANY_TAG, PROC_NULL
 from repro.comm.fabric import Fabric, Message
 from repro.comm.communicator import SimComm, Request, SendRequest, RecvRequest
+from repro.comm.reliable import ReliableComm, ReliableRecvRequest
 from repro.comm.cart import CartComm
 
 __all__ = [
@@ -34,5 +35,7 @@ __all__ = [
     "Request",
     "SendRequest",
     "RecvRequest",
+    "ReliableComm",
+    "ReliableRecvRequest",
     "CartComm",
 ]

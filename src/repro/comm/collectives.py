@@ -45,6 +45,7 @@ _OP_SCATTER = 5
 _OP_ALLTOALL = 6
 _OP_SCAN = 7
 _OP_REDUCE_SCATTER = 8
+_OP_EXSCAN = 9
 
 
 def collective_tag(seq: int, op_id: int, round_: int = 0) -> int:
@@ -277,10 +278,26 @@ def exscan(self: "SimComm", value: Any, op: Any = "sum") -> Any:
 
     Implemented by shifting each rank's *inclusive* prefix of its left
     neighbourhood: rank r sends its inclusive scan to r+1.
+
+    Uses its own op id (``_OP_EXSCAN``), not ``_OP_SCAN``: a mismatched
+    program where one rank calls ``scan`` while another calls ``exscan``
+    must deadlock loudly (caught by the watchdog), not silently pair a
+    scan round with an exscan round and return wrong prefixes.
     """
-    seq = self._next_coll_tag(_OP_SCAN)
+    seq = self._next_coll_tag(_OP_EXSCAN)
     combine = get_reduce_op(op)
     size = self.size
+    # Round budget check *before any send*: the algorithm needs the
+    # inclusive-scan rounds plus one shift round, and raising after some
+    # sends have gone out would leave peers hung mid-collective.
+    rounds = 0
+    while (1 << rounds) < size:
+        rounds += 1
+    if rounds + 1 > _MAX_ROUNDS:
+        raise CommunicationError(
+            f"exscan needs {rounds + 1} rounds for size {size}, "
+            f"exceeding the {_MAX_ROUNDS}-round tag budget"
+        )
     # Inclusive scan first (same algorithm as scan(), local tags).
     acc = value
     dist = 1
@@ -295,8 +312,6 @@ def exscan(self: "SimComm", value: Any, op: Any = "sum") -> Any:
         dist <<= 1
         round_ += 1
     shift_tag = seq + round_
-    if round_ >= _MAX_ROUNDS:
-        raise CommunicationError(f"collective exceeded {_MAX_ROUNDS} rounds")
     if self.rank + 1 < size:
         self.send(acc, self.rank + 1, shift_tag, _internal=True)
     if self.rank > 0:

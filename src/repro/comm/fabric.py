@@ -8,8 +8,20 @@ matching with per-(source, tag) FIFO ordering, and knows which
 
 Thread-safety: a single lock guards all queues; each destination rank has a
 condition variable so a blocked receiver wakes only for its own mail (or an
-abort).  Matching happens in *post order*, which yields MPI's
-non-overtaking guarantee between any (source, tag) pair.
+abort).  Specific-source matching happens in *post order*, which yields
+MPI's non-overtaking guarantee between any (source, tag) pair; wildcard
+(``ANY_SOURCE``) receives pick the per-source FIFO head with the minimum
+``(arrival_time, src)``, so matching among the queued candidates depends
+only on virtual time, never on which sender's thread won the wall-clock
+race to post (programs that need *full* wildcard determinism must also
+ensure the candidates are all posted, e.g. fan-in after a barrier).
+
+Fault injection: an installed :class:`~repro.faults.plan.FaultPlan` is
+consulted by :meth:`Fabric.transmit` for every message — dropped messages
+are charged to the sender but never enqueued, duplicates are enqueued
+twice (the copy trailing by one wire time), delays and link degradation
+push the arrival time out.  ``post()`` is the raw test-level enqueue and
+bypasses the plan.
 """
 
 from __future__ import annotations
@@ -17,12 +29,16 @@ from __future__ import annotations
 import itertools
 import threading
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.cluster.specs import ClusterSpec, InterconnectSpec
 from repro.comm.constants import ANY_SOURCE, ANY_TAG
 from repro.comm.payload import Payload
 from repro.sim.timeline import Timeline
 from repro.util.errors import CommunicationError, DeadlockError, ValidationError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.faults.plan import FaultPlan
 
 
 @dataclass(frozen=True)
@@ -63,6 +79,12 @@ class Fabric:
         self._egress = [Timeline(f"nic{r}.egress") for r in range(self.size)]
         self._ingress = [Timeline(f"nic{r}.ingress") for r in range(self.size)]
         self._link_cache: dict[tuple[int, int], InterconnectSpec] = {}
+        self.fault_plan: FaultPlan | None = None
+
+    def install_faults(self, plan: "FaultPlan | None") -> None:
+        """Install (or clear, with ``None``) the fault plan for this run."""
+        with self._lock:
+            self.fault_plan = plan
 
     def node_of(self, rank: int) -> int:
         """Node index hosting ``rank`` (ranks are packed node-major)."""
@@ -115,13 +137,31 @@ class Fabric:
         The hot path of :meth:`SimComm.send`: equivalent to
         :meth:`inject` followed by :meth:`post`, but takes the fabric lock
         once per message instead of twice.
+
+        With a fault plan installed, the plan is consulted here: link
+        degradation stretches the wire time, extra delay pushes the
+        arrival out, a duplicate enqueues a second copy trailing by one
+        wire time (network-side duplication — the sender's NIC is charged
+        once), and a dropped message is charged to the sender's egress but
+        never enqueued.  The sender-side return value is always the
+        arrival the message *would* have had, so sender traces stay
+        comparable across plans.
         """
         wire = charged / link.bandwidth
         with self._lock:
             if self._abort_exc is not None:
                 raise CommunicationError("fabric aborted") from self._abort_exc
+            decision = None
+            if self.fault_plan is not None:
+                decision = self.fault_plan.decide(src, dst, tag, send_time)
+                if decision.bandwidth_factor != 1.0:
+                    wire = wire / decision.bandwidth_factor
             iv = self._egress[src].schedule(send_time, wire, "msg")
             arrival = iv.start + link.latency + wire
+            if decision is not None:
+                arrival += decision.extra_latency + decision.extra_delay
+                if decision.drop:
+                    return arrival
             msg = Message(
                 src=src,
                 dst=dst,
@@ -133,6 +173,18 @@ class Fabric:
                 seq=next(self._seq),
             )
             self._queues[dst].append(msg)
+            if decision is not None and decision.duplicate:
+                dup = Message(
+                    src=src,
+                    dst=dst,
+                    tag=tag,
+                    payload=payload,
+                    send_time=send_time,
+                    arrival_time=arrival + wire,
+                    wire_duration=wire,
+                    seq=next(self._seq),
+                )
+                self._queues[dst].append(dup)
             self._cv[dst].notify_all()
         return arrival
 
@@ -145,10 +197,18 @@ class Fabric:
     ) -> Message:
         """Block until a message for ``dst`` matching (source, tag) arrives.
 
-        Matching scans the destination queue in post order, so two messages
-        from the same source with the same tag are received in the order
-        they were sent (MPI non-overtaking).  ``timeout`` is a *wall-clock*
-        watchdog: exceeding it means the simulated program is deadlocked.
+        Specific-source matching scans the destination queue in post
+        order, so two messages from the same source with the same tag are
+        received in the order they were sent (MPI non-overtaking).  A
+        wildcard (``ANY_SOURCE``) receive considers the per-source FIFO
+        head of each candidate source and takes the one with the minimum
+        ``(arrival_time, src)`` — a function of virtual time only, so the
+        choice among queued messages is identical run-to-run no matter how
+        the OS schedules sender threads (post order for wildcards would
+        expose wall-clock racing between different sources even when every
+        candidate is already queued).  ``timeout`` is a
+        *wall-clock* watchdog: exceeding it means the simulated program is
+        deadlocked.
         """
         cv = self._cv[dst]
         with self._lock:
@@ -156,12 +216,32 @@ class Fabric:
                 if self._abort_exc is not None:
                     raise CommunicationError("fabric aborted") from self._abort_exc
                 queue = self._queues[dst]
-                for i, msg in enumerate(queue):
-                    if source != ANY_SOURCE and msg.src != source:
-                        continue
-                    if tag != ANY_TAG and msg.tag != tag:
-                        continue
-                    del queue[i]
+                found = -1
+                if source != ANY_SOURCE:
+                    for i, msg in enumerate(queue):
+                        if msg.src != source:
+                            continue
+                        if tag != ANY_TAG and msg.tag != tag:
+                            continue
+                        found = i
+                        break
+                else:
+                    # Per-source FIFO heads (first post-order match per
+                    # source), then the head with the earliest arrival.
+                    heads: dict[int, int] = {}
+                    for i, msg in enumerate(queue):
+                        if tag != ANY_TAG and msg.tag != tag:
+                            continue
+                        if msg.src not in heads:
+                            heads[msg.src] = i
+                    if heads:
+                        found = min(
+                            heads.values(),
+                            key=lambda i: (queue[i].arrival_time, queue[i].src),
+                        )
+                if found >= 0:
+                    msg = queue[found]
+                    del queue[found]
                     # Absorb the bytes through the receiver's ingress NIC:
                     # concurrent inbound streams serialize here.  Matching
                     # order is the receiver's program order, so this stays
@@ -179,8 +259,15 @@ class Fabric:
                     )
 
     def probe(self, dst: int, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> bool:
-        """Non-blocking check whether a matching message is queued."""
+        """Non-blocking check whether a matching message is queued.
+
+        Raises :class:`CommunicationError` once the fabric is aborted, so
+        a ``Request.test()`` polling loop fails fast after a sibling rank
+        dies instead of spinning forever on ``False``.
+        """
         with self._lock:
+            if self._abort_exc is not None:
+                raise CommunicationError("fabric aborted") from self._abort_exc
             return any(
                 (source == ANY_SOURCE or m.src == source)
                 and (tag == ANY_TAG or m.tag == tag)

@@ -607,6 +607,33 @@ class StencilRuntime:
         for _ in range(iterations):
             self.step()
 
+    # -- checkpoint/restart ------------------------------------------------------------
+    def snapshot_state(self) -> dict:
+        """Independent copy of the evolving per-rank state (checkpoint hook).
+
+        Captures exactly what one iteration mutates: both grid buffers
+        (halos included — a restored rank must not need a fresh exchange
+        to resume), the timestep counter (send-strip parity), and the
+        current device split.  Configuration (decomposition, kernel,
+        static fields) is rebuilt identically by the rank program and is
+        deliberately not snapshotted.
+        """
+        self._check_configured()
+        return {
+            "src": self._src.copy(),
+            "dst": self._dst.copy(),
+            "timestep": self._timestep,
+            "rows": None if self._rows is None else self._rows.copy(),
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Reinstate a :meth:`snapshot_state` snapshot (restart hook)."""
+        self._check_configured()
+        np.copyto(self._src, state["src"])
+        np.copyto(self._dst, state["dst"])
+        self._timestep = state["timestep"]
+        self._rows = None if state["rows"] is None else state["rows"].copy()
+
     # -- results ---------------------------------------------------------------------------
     def local_interior(self) -> np.ndarray:
         """This rank's current sub-grid (a copy, halo stripped)."""

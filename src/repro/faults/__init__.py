@@ -1,0 +1,41 @@
+"""Deterministic fault injection for the simulated fabric.
+
+The framework targets long-running iterative applications on clusters,
+where deployments must survive lost or delayed messages and node failures.
+Because the fabric is fully simulated, the *structure* of communication is
+observable — so real fault-tolerance code paths (retransmit with backoff,
+receive-side dedup, checkpoint/restart) can be exercised deterministically:
+a given :class:`FaultPlan` seed always produces the same faults and the
+same virtual makespan.
+
+Pieces:
+
+- :class:`FaultPlan` — the seeded schedule (message drop/duplicate/delay
+  rules, link degradation windows, rank crashes), consulted by
+  :meth:`repro.comm.fabric.Fabric.transmit`.
+- :class:`repro.comm.reliable.ReliableComm` — delivers bit-identical
+  results over a lossy plan (sequence numbers, acks, virtual-time
+  retransmission with exponential backoff, dedup).
+- :class:`repro.core.checkpoint.CheckpointManager` — periodic state
+  snapshots and coordinated rollback when a planned crash fires.
+"""
+
+from repro.faults.plan import (
+    CLEAN_DECISION,
+    FaultDecision,
+    FaultPlan,
+    FaultStats,
+    LinkDegradation,
+    MessageFaultRule,
+    RankCrash,
+)
+
+__all__ = [
+    "CLEAN_DECISION",
+    "FaultDecision",
+    "FaultPlan",
+    "FaultStats",
+    "LinkDegradation",
+    "MessageFaultRule",
+    "RankCrash",
+]

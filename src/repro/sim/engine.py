@@ -16,15 +16,18 @@ hanging the test suite.
 from __future__ import annotations
 
 import threading
+import time
 from dataclasses import dataclass, field
-from typing import Any, Callable, Sequence
+from typing import TYPE_CHECKING, Any, Callable, Sequence
 
 from repro.cluster.specs import ClusterSpec, NodeSpec
-from repro.comm.communicator import SimComm
-from repro.comm.fabric import Fabric
 from repro.sim.clock import VirtualClock
 from repro.sim.trace import Trace
 from repro.util.errors import CommunicationError, DeadlockError, ValidationError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.comm.communicator import SimComm
+    from repro.faults.plan import FaultPlan
 
 DeviceFactory = Callable[["RankContext"], Sequence[Any]]
 
@@ -39,9 +42,10 @@ class RankContext:
     node: NodeSpec
     cluster: ClusterSpec
     clock: VirtualClock
-    comm: SimComm
+    comm: "SimComm"
     trace: Trace
     devices: list[Any] = field(default_factory=list)
+    fault_plan: "FaultPlan | None" = None
 
     @property
     def now(self) -> float:
@@ -87,6 +91,7 @@ def spmd_run(
     device_factory: DeviceFactory | None = None,
     recv_timeout: float = 120.0,
     wall_timeout: float = 600.0,
+    fault_plan: "FaultPlan | None" = None,
 ) -> SpmdResult:
     """Run ``fn(ctx, *args, **kwargs)`` on every rank of ``cluster``.
 
@@ -102,7 +107,12 @@ def spmd_run(
             (used by :class:`repro.core.env.RuntimeEnv`); it runs inside the
             rank thread after clock/comm are wired.
         recv_timeout: Wall-clock seconds a single receive may block.
-        wall_timeout: Wall-clock seconds for the whole run.
+        wall_timeout: Wall-clock seconds for the whole run (a monotonic
+            budget shared by all ranks, not a per-rank allowance).
+        fault_plan: Optional :class:`~repro.faults.plan.FaultPlan`
+            installed on the fabric before any rank starts; rank programs
+            reach it via ``ctx.fault_plan`` (checkpoint/restart loops
+            consume its crash events).
 
     Returns:
         :class:`SpmdResult` with per-rank return values, final virtual
@@ -112,6 +122,9 @@ def spmd_run(
         The first per-rank exception (sibling ranks are woken and drained),
         or :class:`DeadlockError` if ranks block past the watchdog.
     """
+    from repro.comm.communicator import SimComm
+    from repro.comm.fabric import Fabric
+
     if kwargs is None:
         kwargs = {}
     nranks = cluster.num_nodes * ranks_per_node
@@ -119,6 +132,8 @@ def spmd_run(
         raise ValidationError("cluster must yield at least one rank")
 
     fabric = Fabric(cluster, ranks_per_node=ranks_per_node)
+    if fault_plan is not None:
+        fabric.install_faults(fault_plan)
     values: list[Any] = [None] * nranks
     times: list[float] = [0.0] * nranks
     traces: list[Trace] = [Trace(r, enabled=trace) for r in range(nranks)]
@@ -137,6 +152,7 @@ def spmd_run(
             clock=clock,
             comm=comm,
             trace=traces[rank],
+            fault_plan=fault_plan,
         )
         try:
             if device_factory is not None:
@@ -171,9 +187,13 @@ def spmd_run(
         ]
         for t in threads:
             t.start()
-        deadline = wall_timeout
+        # One monotonic deadline shared by every join: the whole run gets
+        # wall_timeout seconds, not wall_timeout per rank (joining each
+        # thread with a fresh timeout would let a slow run block for up to
+        # nranks * wall_timeout before tripping the watchdog).
+        deadline = time.monotonic() + wall_timeout
         for t in threads:
-            t.join(timeout=deadline)
+            t.join(timeout=max(0.0, deadline - time.monotonic()))
             if t.is_alive():
                 fabric.abort(DeadlockError("wall timeout"))
                 for t2 in threads:

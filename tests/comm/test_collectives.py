@@ -5,7 +5,7 @@ import pytest
 
 from repro.cluster.presets import laptop_cluster
 from repro.sim.engine import spmd_run
-from repro.util.errors import CommunicationError, ValidationError
+from repro.util.errors import CommunicationError, DeadlockError, ValidationError
 
 SIZES = [1, 2, 3, 4, 5, 7, 8]
 
@@ -212,3 +212,52 @@ def test_reduce_scatter_length_check():
 
     with pytest.raises(CommunicationError):
         _run(prog, 3)
+
+
+def test_scan_exscan_mismatch_deadlocks_not_mispairs():
+    """Regression: exscan must use its own op id.  When it shared
+    ``_OP_SCAN``'s, a mismatched program (one rank in ``scan``, another in
+    ``exscan``) silently paired rounds across the two algorithms and
+    returned wrong prefixes; with distinct ids it deadlocks loudly."""
+
+    def prog(ctx):
+        if ctx.rank == 0:
+            return ctx.comm.scan(1, "sum")
+        return ctx.comm.exscan(1, "sum")
+
+    with pytest.raises(DeadlockError):
+        spmd_run(
+            prog,
+            laptop_cluster(num_nodes=2),
+            recv_timeout=0.3,
+            wall_timeout=10.0,
+        )
+
+
+def test_exscan_round_budget_checked_before_any_send(monkeypatch):
+    """An over-budget exscan must raise up front on every rank (nobody has
+    sent yet, so nobody is left hung mid-collective)."""
+    from repro.comm import collectives
+
+    monkeypatch.setattr(collectives, "_MAX_ROUNDS", 2)
+
+    def prog(ctx):
+        return ctx.comm.exscan(ctx.rank, "sum")
+
+    # 4 ranks need 2 inclusive-scan rounds + 1 shift round = 3 > 2.
+    with pytest.raises(CommunicationError, match="round"):
+        _run(prog, 4, wall_timeout=10.0)
+
+
+def test_scan_then_exscan_same_program():
+    """Back-to-back scan and exscan draw distinct tag sequences."""
+
+    def prog(ctx):
+        inc = ctx.comm.scan(ctx.rank + 1, "sum")
+        exc = ctx.comm.exscan(ctx.rank + 1, "sum")
+        return inc, exc
+
+    values = _run(prog, 5).values
+    for rank, (inc, exc) in enumerate(values):
+        assert inc == sum(r + 1 for r in range(rank + 1))
+        assert exc == (sum(r + 1 for r in range(rank)) if rank else None)

@@ -97,3 +97,39 @@ def test_inject_serializes_sender(fabric):
 def test_ranks_per_node_validation():
     with pytest.raises(ValidationError):
         Fabric(laptop_cluster(num_nodes=1), ranks_per_node=0)
+
+
+def test_wildcard_match_picks_earliest_arrival_not_post_order(fabric):
+    """Regression: ANY_SOURCE must match by minimum (arrival_time, src),
+    not by which sender's thread won the race to post first."""
+    fabric.post(_msg(2, 1, tag=5, arrival=3.0))
+    fabric.post(_msg(0, 1, tag=5, arrival=1.0))
+    got = fabric.match(1, source=ANY_SOURCE, tag=5, timeout=1.0)
+    assert got.src == 0
+    assert fabric.match(1, source=ANY_SOURCE, tag=5, timeout=1.0).src == 2
+
+
+def test_wildcard_match_ties_break_by_source(fabric):
+    fabric.post(_msg(3, 1, tag=5, arrival=2.0))
+    fabric.post(_msg(0, 1, tag=5, arrival=2.0))
+    assert fabric.match(1, source=ANY_SOURCE, tag=5, timeout=1.0).src == 0
+
+
+def test_wildcard_match_keeps_per_source_fifo(fabric):
+    """A source's later message may carry an *earlier* arrival time (fault
+    delays can reorder); the wildcard must still take that source's posts
+    in FIFO order."""
+    fabric.post(_msg(0, 1, tag=5, arrival=4.0))
+    fabric.post(_msg(0, 1, tag=5, arrival=2.0))
+    first = fabric.match(1, source=ANY_SOURCE, tag=5, timeout=1.0)
+    second = fabric.match(1, source=ANY_SOURCE, tag=5, timeout=1.0)
+    assert (first.arrival_time, second.arrival_time) == (4.0, 2.0)
+
+
+def test_probe_raises_after_abort(fabric):
+    """Regression: a ``test()`` polling loop must fail fast once a sibling
+    rank has died, not spin forever on ``False``."""
+    fabric.post(_msg(0, 1, tag=1))
+    fabric.abort(RuntimeError("sibling died"))
+    with pytest.raises(CommunicationError):
+        fabric.probe(1)

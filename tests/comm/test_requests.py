@@ -129,3 +129,32 @@ def test_wait_is_idempotent():
 
     first, second = run_spmd(prog, nodes=2).values[0]
     assert first == second == "only-one"
+
+
+def test_recv_test_raises_once_fabric_aborted():
+    """Regression: ``RecvRequest.test()`` returned False forever after a
+    sibling rank died; it must raise CommunicationError so polling loops
+    fail fast instead of spinning until the watchdog."""
+    import time as _time
+
+    import pytest
+
+    from repro.util.errors import CommunicationError
+
+    def prog(ctx):
+        if ctx.rank == 0:
+            req = ctx.comm.irecv(source=1, tag=3)
+            for _ in range(10_000):
+                if req.test():
+                    return "matched"
+                _time.sleep(0.001)
+            return "spun-out"
+        _time.sleep(0.05)
+        raise ValueError("boom")
+
+    t0 = _time.monotonic()
+    with pytest.raises(ValueError, match="boom"):
+        run_spmd(prog, nodes=2, wall_timeout=30.0)
+    # rank 0's polling loop must have been cut short by the abort (the
+    # CommunicationError from test()), not run its full ~10s course.
+    assert _time.monotonic() - t0 < 5.0

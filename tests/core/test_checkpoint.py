@@ -1,0 +1,140 @@
+"""CheckpointManager: cadence, crash recovery, and trace accounting."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.presets import laptop_cluster
+from repro.core.checkpoint import FAULT_CATEGORY, CheckpointManager
+from repro.faults.plan import FaultPlan, RankCrash
+from repro.sim.engine import spmd_run
+from repro.util.errors import ValidationError
+
+
+def _counter_prog(ctx, iterations=10, every=3, step_cost=1e-4):
+    """Counting loop: state is one array, every step adds 1 and barriers."""
+    state = {"x": np.full(100, float(ctx.rank))}
+    mgr = CheckpointManager(ctx, every=every)
+
+    def step(_it):
+        state["x"] += 1.0
+        ctx.clock.advance(step_cost)
+        ctx.comm.barrier()
+
+    execs = mgr.run_iterations(
+        iterations,
+        step,
+        lambda: state["x"].copy(),
+        lambda s: np.copyto(state["x"], s),
+    )
+    return {
+        "value": float(state["x"][0]),
+        "executions": execs,
+        "checkpoints": mgr.checkpoints_taken,
+        "recoveries": mgr.recoveries,
+    }
+
+
+def test_clean_run_checkpoints_on_cadence():
+    res = spmd_run(_counter_prog, laptop_cluster(num_nodes=2))
+    for rank, v in enumerate(res.values):
+        assert v["value"] == rank + 10
+        assert v["executions"] == 10
+        # Snapshots at iterations 0, 3, 6, 9.
+        assert v["checkpoints"] == 4
+        assert v["recoveries"] == 0
+
+
+def test_crash_recovers_from_last_checkpoint():
+    plan = FaultPlan(
+        seed=1, crashes=[RankCrash(rank=1, at_time=4.5e-4, restart_cost=0.01)]
+    )
+    res = spmd_run(_counter_prog, laptop_cluster(num_nodes=4), fault_plan=plan)
+    clean = spmd_run(_counter_prog, laptop_cluster(num_nodes=4))
+    for v, c in zip(res.values, clean.values):
+        # Crash between checkpoint 3 (t=3e-4ish) and the next boundary:
+        # iterations 3..4 are re-executed, final value unchanged.
+        assert v["value"] == c["value"]
+        assert v["executions"] > c["executions"]
+        assert v["recoveries"] == 1
+    assert res.makespan > clean.makespan + 0.01  # restart_cost visible
+    assert plan.stats.crashes_consumed == 1
+
+
+def test_crash_run_is_deterministic():
+    def run():
+        plan = FaultPlan(
+            seed=1, crashes=[RankCrash(rank=1, at_time=4.5e-4, restart_cost=0.01)]
+        )
+        return spmd_run(_counter_prog, laptop_cluster(num_nodes=4), fault_plan=plan)
+
+    a, b = run(), run()
+    assert a.times == b.times
+    assert [v["executions"] for v in a.values] == [v["executions"] for v in b.values]
+
+
+def test_trace_records_checkpoint_crash_recovery():
+    plan = FaultPlan(
+        seed=1, crashes=[RankCrash(rank=1, at_time=4.5e-4, restart_cost=0.01)]
+    )
+    res = spmd_run(
+        _counter_prog, laptop_cluster(num_nodes=2), fault_plan=plan, trace=True
+    )
+    by_rank = [
+        [e.label for e in t if e.category == FAULT_CATEGORY] for t in res.traces
+    ]
+    assert "crash" in by_rank[1]
+    assert "crash" not in by_rank[0]  # only the failed rank logs the crash
+    for labels in by_rank:
+        assert "recovery" in labels  # but every rank recovers
+        assert labels.count("checkpoint") >= 2
+
+
+def test_recovery_charges_restart_plus_reload():
+    plan = FaultPlan(
+        seed=1, crashes=[RankCrash(rank=0, at_time=1e-4, restart_cost=0.02)]
+    )
+    res = spmd_run(
+        _counter_prog, laptop_cluster(num_nodes=2), fault_plan=plan, trace=True
+    )
+    recs = [
+        e
+        for e in res.traces[0]
+        if e.category == FAULT_CATEGORY and e.label == "recovery"
+    ]
+    assert len(recs) == 1
+    assert recs[0].duration >= 0.02  # restart_cost plus snapshot reload
+    assert recs[0].meta["restart_cost"] == 0.02
+
+
+def test_multiple_crashes_multiple_recoveries():
+    plan = FaultPlan(
+        seed=1,
+        crashes=[
+            RankCrash(rank=0, at_time=2e-4, restart_cost=0.005),
+            RankCrash(rank=1, at_time=8e-4, restart_cost=0.005),
+        ],
+    )
+    res = spmd_run(_counter_prog, laptop_cluster(num_nodes=2), fault_plan=plan)
+    for rank, v in enumerate(res.values):
+        assert v["value"] == rank + 10
+        assert v["recoveries"] == 2
+    assert plan.stats.crashes_consumed == 2
+
+
+def test_without_plan_no_detection_overhead_mistakes():
+    res = spmd_run(_counter_prog, laptop_cluster(num_nodes=2))
+    assert all(v["recoveries"] == 0 for v in res.values)
+
+
+def test_validation():
+    def prog(ctx):
+        with pytest.raises(ValidationError):
+            CheckpointManager(ctx, every=0)
+        with pytest.raises(ValidationError):
+            CheckpointManager(ctx, write_bandwidth=0.0)
+        mgr = CheckpointManager(ctx)
+        with pytest.raises(ValidationError):
+            mgr.run_iterations(0, lambda i: None, lambda: None, lambda s: None)
+        return True
+
+    assert spmd_run(prog, laptop_cluster(num_nodes=1)).values == [True]

@@ -97,3 +97,107 @@ def test_results_of_completed_ranks_are_not_mixed_with_failures():
 
     with pytest.raises(RuntimeError):
         spmd_run(prog, laptop_cluster(num_nodes=2))
+
+
+# ---------------------------------------------------------------------------
+# Fault injection + resilience: apps complete bit-identically under lossy
+# plans, and injected crashes recover from checkpoints with the cost
+# visible in the virtual makespan.
+# ---------------------------------------------------------------------------
+
+from repro.apps.heat3d import Heat3DConfig
+from repro.apps.heat3d import rank_program as heat3d_program
+from repro.apps.kmeans import KmeansConfig
+from repro.apps.kmeans import rank_program as kmeans_program
+from repro.core.checkpoint import FAULT_CATEGORY
+from repro.faults.plan import FaultPlan, RankCrash
+
+HEAT_CFG = Heat3DConfig(functional_shape=(24, 24, 24), simulated_steps=6)
+KM_CFG = KmeansConfig(functional_points=4000, n_points=400_000, iterations=6)
+LOSSY = dict(drop=0.15, dup=0.1, delay=0.1, max_delay=3e-4)
+
+
+def _heat(plan=None, **kw):
+    return spmd_run(
+        heat3d_program,
+        laptop_cluster(num_nodes=4),
+        args=(HEAT_CFG, "cpu"),
+        kwargs=kw,
+        fault_plan=plan,
+        trace=plan is not None,
+    )
+
+
+def _kmeans(plan=None, **kw):
+    return spmd_run(
+        kmeans_program,
+        laptop_cluster(num_nodes=4),
+        args=(KM_CFG, "cpu"),
+        kwargs=kw,
+        fault_plan=plan,
+        trace=plan is not None,
+    )
+
+
+def test_heat3d_bit_identical_under_lossy_plan():
+    clean = _heat()
+    lossy = _heat(FaultPlan.lossy(seed=11, **LOSSY), reliable=True)
+    np.testing.assert_array_equal(clean.values[0]["grid"], lossy.values[0]["grid"])
+    assert lossy.makespan > clean.makespan  # retries/dups cost virtual time
+
+
+def test_kmeans_bit_identical_under_lossy_plan():
+    clean = _kmeans()
+    lossy = _kmeans(FaultPlan.lossy(seed=5, **LOSSY), reliable=True)
+    np.testing.assert_array_equal(clean.values[0], lossy.values[0])
+    assert lossy.makespan > clean.makespan
+
+
+def test_heat3d_crash_recovers_from_checkpoint():
+    clean = _heat()
+    crash_at = clean.makespan * 0.5
+    plan = FaultPlan.lossy(
+        seed=11, **LOSSY, crashes=[RankCrash(rank=1, at_time=crash_at, restart_cost=0.005)]
+    )
+    res = _heat(plan, reliable=True, checkpoint_every=2)
+    np.testing.assert_array_equal(clean.values[0]["grid"], res.values[0]["grid"])
+    assert res.values[1]["recoveries"] == 1
+    assert plan.stats.crashes_consumed == 1
+    assert res.makespan > clean.makespan + 0.005  # recovery charged
+    fault_labels = [
+        e.label for t in res.traces for e in t if e.category == FAULT_CATEGORY
+    ]
+    assert "crash" in fault_labels
+    assert "recovery" in fault_labels
+    assert "checkpoint" in fault_labels
+
+
+def test_kmeans_crash_recovers_from_checkpoint():
+    clean = _kmeans()
+    plan = FaultPlan(
+        seed=5, crashes=[RankCrash(rank=3, at_time=clean.makespan * 0.4, restart_cost=0.003)]
+    )
+    res = _kmeans(plan, reliable=True, checkpoint_every=2)
+    np.testing.assert_array_equal(clean.values[0], res.values[0])
+    assert plan.stats.crashes_consumed == 1
+    assert res.makespan > clean.makespan
+
+
+def test_fault_runs_are_reproducible():
+    def make_plan():
+        return FaultPlan.lossy(
+            seed=11, **LOSSY, crashes=[RankCrash(rank=1, at_time=0.09, restart_cost=0.005)]
+        )
+
+    a = _heat(make_plan(), reliable=True, checkpoint_every=2)
+    b = _heat(make_plan(), reliable=True, checkpoint_every=2)
+    assert a.times == b.times
+    np.testing.assert_array_equal(a.values[0]["grid"], b.values[0]["grid"])
+
+
+def test_makespan_monotone_in_fault_severity():
+    spans = []
+    for drop in (0.0, 0.15, 0.4):
+        plan = FaultPlan.lossy(seed=13, drop=drop) if drop else None
+        spans.append(_heat(plan, reliable=True).makespan)
+    assert spans[0] < spans[1] < spans[2]

@@ -101,3 +101,29 @@ def test_rejects_zero_ranks():
     cluster = laptop_cluster(num_nodes=1)
     with pytest.raises(ValidationError):
         spmd_run(lambda ctx: None, cluster, ranks_per_node=0)
+
+
+def test_wall_timeout_is_a_shared_budget_not_per_rank():
+    """Regression: the watchdog must use one monotonic deadline across all
+    joins.  With a fresh ``wall_timeout`` per join, early ranks that exit
+    slowly eat no budget and a hung last rank stalls the run for up to
+    ``nranks * wall_timeout`` before the DeadlockError fires."""
+    import time as _time
+
+    def prog(ctx):
+        if ctx.rank < 3:
+            # Staggered wall-clock work: each rank alone finishes within
+            # the timeout, but their cumulative join time exceeds it.
+            _time.sleep(0.3 * (ctx.rank + 1))
+            return ctx.rank
+        # The last rank blocks forever (abort-wakeable).
+        ctx.comm.recv(source=0, tag=99)
+        return None
+
+    t0 = _time.monotonic()
+    with pytest.raises(DeadlockError):
+        spmd_run(prog, laptop_cluster(num_nodes=4), wall_timeout=0.8)
+    elapsed = _time.monotonic() - t0
+    # Shared budget: trip at ~0.8s (plus sleeping threads draining, <=0.9s).
+    # The old per-join budget would not raise until ~0.9 + 0.8 = 1.7s.
+    assert elapsed < 1.4, f"watchdog took {elapsed:.2f}s; per-join budget bug?"
