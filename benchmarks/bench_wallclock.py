@@ -19,8 +19,9 @@ Each timed case reports:
 - ``wall_s``     — best-of-N wall seconds for the whole functional run
 - ``makespan``   — the virtual makespan of the same run (regression canary)
 
-plus two micro-benchmarks isolating the paths this harness exists to
-watch: the stencil step loop (Sobel/Heat3D) and the Kmeans emit path.
+plus three micro-benchmarks isolating the paths this harness exists to
+watch: the stencil step loop (Sobel/Heat3D), the irregular-reduction
+step loop (Moldyn/MiniMD), and the Kmeans emit path.
 """
 
 from __future__ import annotations
@@ -57,11 +58,19 @@ def _configs(mode: str) -> dict:
             "heat3d_steps": heat3d.Heat3DConfig(
                 functional_shape=(36, 36, 36), simulated_steps=8
             ),
+            # The IR step cases keep the apps' default mesh sizes even in
+            # smoke mode: on the reduced meshes the loop is dominated by
+            # the per-step rank rendezvous, not the reduction path this
+            # case exists to watch (fewer repeats keep CI latency flat).
+            "moldyn_steps": moldyn.MoldynConfig(simulated_steps=8),
+            "minimd_steps": minimd.MiniMDConfig(simulated_steps=8),
+            "ir_step_repeats": 2,
             "nodes": 4,
         }
     return {
         "repeats": 3,
         "step_repeats": 5,
+        "ir_step_repeats": 3,
         "kmeans": kmeans.KmeansConfig(functional_points=200_000, iterations=1),
         "sobel": sobel.SobelConfig(),
         "heat3d": heat3d.Heat3DConfig(),
@@ -69,6 +78,8 @@ def _configs(mode: str) -> dict:
         "moldyn": moldyn.MoldynConfig(),
         "sobel_steps": sobel.SobelConfig(simulated_steps=15),
         "heat3d_steps": heat3d.Heat3DConfig(simulated_steps=20),
+        "moldyn_steps": moldyn.MoldynConfig(simulated_steps=10),
+        "minimd_steps": minimd.MiniMDConfig(simulated_steps=10),
         "nodes": 4,
     }
 
@@ -146,6 +157,28 @@ def bench_stencil_steps(cfg: dict) -> dict:
     return out
 
 
+def bench_ir_steps(cfg: dict) -> dict:
+    """Isolate the irregular-reduction step loop (Moldyn/MiniMD).
+
+    The MD rank programs time their own ``start`` / ``get_local_reduction``
+    / ``update_nodedata`` loop (``wall_steps`` in their result dicts), so
+    the number excludes mesh generation and runtime setup and moves only
+    when the IR hot path changes.  Reports the slowest rank's loop, best
+    over repeats, plus the run's virtual makespan as the regression canary.
+    """
+    cluster = ohio_cluster(cfg["nodes"])
+    out = {}
+    for name, mod in [("moldyn_steps", moldyn), ("minimd_steps", minimd)]:
+        step_wall = float("inf")
+        makespan = None
+        for _ in range(cfg["ir_step_repeats"]):
+            run = mod.run(cluster, cfg[name])
+            step_wall = min(step_wall, max(v["wall_steps"] for v in run.result))
+            makespan = run.makespan
+        out[name] = {"wall_s": round(step_wall, 4), "makespan": makespan}
+    return out
+
+
 def bench_kmeans_emit(cfg: dict) -> dict:
     """Isolate the Kmeans emit path: the batched kernel over all chunks.
 
@@ -189,6 +222,7 @@ def collect(mode: str) -> dict:
     }
     record["cases"].update(bench_apps(cfg))
     record["cases"].update(bench_stencil_steps(cfg))
+    record["cases"].update(bench_ir_steps(cfg))
     record["cases"].update(bench_kmeans_emit(cfg))
     return record
 

@@ -18,6 +18,7 @@ GPU efficiencies are calibrated to the paper's measured 1.7x GPU :
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 
 import numpy as np
@@ -142,17 +143,34 @@ def make_force_work(node: NodeSpec, config: "MiniMDConfig") -> WorkModel:
 
 
 def lj_force_batch(obj, edges: np.ndarray, edge_data, nodes: np.ndarray, cutoff2: float) -> None:
-    """Lennard-Jones pair forces over the half neighbor list."""
-    d = nodes[edges[:, 0], 0:3] - nodes[edges[:, 1], 0:3]
-    r2 = np.maximum(np.einsum("nd,nd->n", d, d), 1e-12)
-    inside = r2 < cutoff2
+    """Lennard-Jones pair forces over the half neighbor list.
+
+    In-place formulation: the displacement buffer becomes the force
+    buffer and the ``sr2`` scratch accumulates the magnitude
+    ``f = 24 eps (2 sr^12 - sr^6) / r^2``, with every operation keeping
+    the naive expression's association so forces are bit-identical.
+    Positions are compacted into a contiguous ``(n, 3)`` array first so
+    both endpoint gathers hit ``np.take``'s contiguous fast path.
+    """
+    pos = np.ascontiguousarray(nodes[:, 0:3])
+    f = np.take(pos, edges[:, 0], axis=0)
+    f -= np.take(pos, edges[:, 1], axis=0)  # f holds the displacement d
+    r2 = np.einsum("nd,nd->n", f, f)
+    np.maximum(r2, 1e-12, out=r2)
+    outside = r2 >= cutoff2
     sr2 = (SIGMA * SIGMA) / r2
-    sr6 = sr2 * sr2 * sr2
-    # f = 24 eps (2 sr^12 - sr^6) / r^2, applied along d.
-    fmag = np.where(inside, 24.0 * EPSILON * (2.0 * sr6 * sr6 - sr6) / r2, 0.0)
-    f = fmag[:, None] * d
+    sr6 = sr2 * sr2
+    sr6 *= sr2
+    np.multiply(sr6, 2.0, out=sr2)  # sr2 scratch now builds the magnitude
+    sr2 *= sr6
+    sr2 -= sr6
+    sr2 *= 24.0 * EPSILON
+    sr2 /= r2
+    sr2[outside] = 0.0
+    f *= sr2[:, None]
     obj.insert_many(edges[:, 0], f)
-    obj.insert_many(edges[:, 1], -f)
+    np.negative(f, out=f)
+    obj.insert_many(edges[:, 1], f)
 
 
 def make_force_kernel(node: NodeSpec, config: "MiniMDConfig") -> IRKernel:
@@ -184,10 +202,10 @@ def _functional_atoms(config: MiniMDConfig) -> np.ndarray:
 
 
 def _integrate(nodes: np.ndarray, forces: np.ndarray) -> np.ndarray:
-    out = nodes.copy()
-    out[:, 3:6] += forces * DT
-    out[:, 0:3] += out[:, 3:6] * DT
-    return out
+    # In place: callers pass the fresh copy from get_local_nodes.
+    nodes[:, 3:6] += forces * DT
+    nodes[:, 0:3] += nodes[:, 3:6] * DT
+    return nodes
 
 
 def rank_program(
@@ -217,6 +235,7 @@ def rank_program(
 
     step_times = []
     rebuild_times = []
+    wall0 = time.perf_counter()
     for step in range(config.simulated_steps):
         if step > 0 and step % config.reneighbor_every == 0:
             t0 = ctx.clock.now
@@ -239,6 +258,7 @@ def rank_program(
         forces = ir.get_local_reduction()
         ir.update_nodedata(_integrate(ir.get_local_nodes(), forces))
         step_times.append(ctx.clock.now - t0)
+    wall_steps = time.perf_counter() - wall0
 
     local_nodes = ir.get_local_nodes()
     lo, hi = ir.local_node_range
@@ -256,6 +276,7 @@ def rank_program(
     return {
         "steps": step_times,
         "rebuilds": rebuild_times,
+        "wall_steps": wall_steps,
         "ke": float(ke[0, 0]),
         "range": (lo, hi),
         "nodes": local_nodes,

@@ -24,6 +24,25 @@ set.  Partitioning follows the paper exactly:
 
 Functional honesty: remote node slots are filled **only** by the exchange
 protocol; if the protocol were wrong, results would be wrong.
+
+Host-side performance: the hot loop is built around a persistent
+per-device **edge-partition cache** (see :class:`_DevicePartition`).
+After every (re)partition the runtime computes once — and keeps until the
+next repartition or ``set_mesh``/``set_kernel`` — each device's edge
+index sets, edge/edge-data slices, pooled reduction object, and the
+precomputed scatter plans (:meth:`DenseReductionObject.plan_scatter`)
+for all four endpoint columns of the full local/cross edge arrays.
+Steady-state steps then run no per-step partitioning, no fancy-index
+slicing, and no buffer allocation: the edge kernel executes **once per
+phase** over the full edge array, and each emitted batch scatters
+**once** through the combined full-range object's precomputed plan
+(:class:`_MultiDeviceScatter`) — the pooled per-device objects' value
+buffers are segments of the combined array, so a single planned
+``np.bincount`` (or CSR/``reduceat`` for min/max) updates every device
+at once, with per-device insert/drop counters maintained from counts
+precomputed at cache-build time.  None of this touches the cost model —
+each device is still charged for its own cached edge share — so virtual
+makespans are unchanged.
 """
 
 from __future__ import annotations
@@ -40,8 +59,9 @@ from repro.core.partition import (
     block_partition,
     classify_edges,
     split_edges_by_node_ranges,
+    validate_range_tiling,
 )
-from repro.core.reduction_object import DenseReductionObject
+from repro.core.reduction_object import DenseReductionObject, _keys_token
 from repro.device.costmodel import shared_memory_partitions
 from repro.device.gpu import GPUDevice
 from repro.device.work import WorkModel, scaled
@@ -49,6 +69,129 @@ from repro.util.errors import ConfigurationError
 
 _TAG_IDS = 102
 _TAG_DATA = 103
+
+
+class _DevicePartition:
+    """Cached per-device edge partition (valid until the next repartition).
+
+    Everything the cost model and the accounting need per device, computed
+    once: the local/cross edge index sets, the matching edge/edge-data
+    slices (contiguous, read-only, materialized lazily on first access —
+    the hot loop only needs the counts), and the pooled reduction object
+    whose value buffer is a segment of the combined full-range object, so
+    one kernel execution per phase can feed every device.
+    """
+
+    __slots__ = (
+        "sel_local",
+        "sel_cross",
+        "obj",
+        "_sources",
+        "_slices",
+    )
+
+    def __init__(self, sel_local, sel_cross, sources, obj) -> None:
+        self.sel_local = sel_local
+        self.sel_cross = sel_cross
+        self.obj = obj
+        # (local_edges, cross_edges, local_data, cross_data) full arrays.
+        self._sources = sources
+        self._slices: dict[int, np.ndarray | None] = {}
+
+    def _slice(self, which: int) -> np.ndarray | None:
+        out = self._slices.get(which)
+        if out is None and which not in self._slices:
+            sel = self.sel_local if which in (0, 2) else self.sel_cross
+            out = _frozen_slice(self._sources[which], sel)
+            self._slices[which] = out
+        return out
+
+    @property
+    def local_edges(self) -> np.ndarray:
+        return self._slice(0)
+
+    @property
+    def cross_edges(self) -> np.ndarray:
+        return self._slice(1)
+
+    @property
+    def local_data(self) -> np.ndarray | None:
+        return self._slice(2)
+
+    @property
+    def cross_data(self) -> np.ndarray | None:
+        return self._slice(3)
+
+    @property
+    def n_local(self) -> int:
+        return len(self.sel_local)
+
+    @property
+    def n_cross(self) -> int:
+        return len(self.sel_cross)
+
+
+class _MultiDeviceScatter:
+    """Routes kernel-emitted batches to the devices' pooled objects.
+
+    The devices' reduction objects tile the local reduction space, and
+    their value buffers are *segments* of one combined full-range object
+    (see :class:`DenseReductionObject`'s ``storage`` parameter).  A batch
+    emitted against one of the cached edge columns therefore scatters
+    **once**, through the combined object's precomputed plan, and lands in
+    every device's segment simultaneously — functionally identical to the
+    per-device fan-out it replaces (each key is owned by exactly one
+    device, and contributions hit each key in unchanged input order), but
+    with one bincount over the batch instead of one gather+bincount per
+    device.  Per-device insert/drop counters are maintained from counts
+    precomputed at cache-build time, so the accounting the repartition
+    tests rely on is unchanged.  Batches with unrecognized key arrays
+    (custom kernels emitting derived keys) fall back to the per-device
+    path, whose key-range filters write the same shared segments.
+
+    This lets the runtime execute the edge kernel *once* per phase instead
+    of once per device, eliminating the duplicated force computation for
+    device-crossing edges.
+    """
+
+    __slots__ = ("combined", "objs", "drops")
+
+    def __init__(self, combined, objs, drops) -> None:
+        self.combined = combined
+        self.objs = objs
+        self.drops = drops  # _keys_token -> per-device dropped-entry counts
+
+    def insert(self, key, value) -> None:
+        for obj in self.objs:
+            obj.insert(key, value)
+
+    def insert_many(self, keys, values) -> None:
+        drops = self.drops.get(_keys_token(keys)) if isinstance(keys, np.ndarray) else None
+        if drops is None:
+            for obj in self.objs:
+                obj.insert_many(keys, values)
+            return
+        self.combined.insert_many(keys, values)
+        n = len(keys)
+        for obj, dropped in zip(self.objs, drops):
+            obj.n_inserts += n
+            obj.n_dropped += dropped
+
+    def reset(self) -> None:
+        """Identity-fill the shared storage once; zero every counter."""
+        self.combined.reset()
+        for obj in self.objs:
+            obj.n_inserts = 0
+            obj.n_dropped = 0
+
+
+def _frozen_slice(array: np.ndarray | None, sel: np.ndarray) -> np.ndarray | None:
+    """A contiguous read-only copy of ``array[sel]`` (cache-safe)."""
+    if array is None:
+        return None
+    out = np.ascontiguousarray(array[sel])
+    out.flags.writeable = False
+    return out
 
 
 class IrregularReductionRuntime:
@@ -88,10 +231,26 @@ class IrregularReductionRuntime:
         self._partitioner: AdaptivePartitioner | None = None
         self._ranges: list[tuple[int, int]] | None = None
         self._result: np.ndarray | None = None
+        self._have_result = False
+        # Edge-partition cache (built lazily in start, kept across steps).
+        self._edge_cache: list[_DevicePartition] | None = None
+        self._multi: _MultiDeviceScatter | None = None
+        self._combined: DenseReductionObject | None = None
+        self._cache_builds = 0
+        # Parity double-buffered step-5 gather buffer (all requesters
+        # concatenated; spans mark each requester's slice).
+        self._send_bufs: dict[int, np.ndarray] = {}
+        self._serve_spans: list[tuple[int, int, int]] = []
+        self._serve_idx: np.ndarray | None = None
+        self._exchange_count = 0
 
     # -- configuration ---------------------------------------------------
     def set_kernel(self, kernel: IRKernel) -> None:
         self._kernel = kernel
+        # Pooled objects and scatter plans embed the kernel's op, width,
+        # and dtype — a new kernel invalidates them.
+        self._edge_cache = None
+        self._combined = None
 
     def set_edge_comp_func(
         self,
@@ -183,13 +342,20 @@ class IrregularReductionRuntime:
         self._arr = arrangement
 
         # Renumber edge endpoints to arranged slots (paper: "converts these
-        # IDs into the local rank").
-        self._local_edges = arrangement.slot_of_global(
-            local_edges.reshape(-1), self._n_global_nodes
-        ).reshape(-1, 2)
-        self._cross_edges = arrangement.slot_of_global(
-            cross_edges.reshape(-1), self._n_global_nodes
-        ).reshape(-1, 2)
+        # IDs into the local rank").  Frozen: the per-device scatter plans
+        # key off these arrays' memory identity.
+        self._local_edges = np.ascontiguousarray(
+            arrangement.slot_of_global(
+                local_edges.reshape(-1), self._n_global_nodes
+            ).reshape(-1, 2)
+        )
+        self._local_edges.flags.writeable = False
+        self._cross_edges = np.ascontiguousarray(
+            arrangement.slot_of_global(
+                cross_edges.reshape(-1), self._n_global_nodes
+            ).reshape(-1, 2)
+        )
+        self._cross_edges.flags.writeable = False
 
         # Edge data travels with its edges.
         if edge_data is not None:
@@ -219,6 +385,12 @@ class IrregularReductionRuntime:
         self._data_dirty = True
         self._gpu_edges_loaded = False
         self._timestep = 0
+        self._edge_cache = None
+        self._combined = None
+        self._result = None
+        self._have_result = False
+        self._send_bufs = {}
+        self._exchange_count = 0
 
         # Load-time cost: each process inspects the full edge list to pick
         # its own (paper §III-B "inspects all the input edges").
@@ -247,31 +419,67 @@ class IrregularReductionRuntime:
             if requester != comm.rank and cnt > 0:
                 ids = comm.recv(source=requester, tag=_TAG_IDS)
                 self._serve[requester] = np.asarray(ids) - arr.lo  # local indices
+        # Fuse the per-requester step-5 gathers into one np.take: all serve
+        # indices concatenated, with each requester's span recorded so its
+        # send is a zero-copy slice of the pooled gather buffer.
+        spans = []
+        lo = 0
+        for requester, idx in self._serve.items():
+            spans.append((requester, lo, lo + len(idx)))
+            lo += len(idx)
+        self._serve_spans = spans
+        self._serve_idx = (
+            np.concatenate(list(self._serve.values()))
+            if self._serve
+            else np.zeros(0, dtype=np.intp)
+        )
+        self._send_bufs = {}
         comm.waitall(reqs)
         self._needs_id_exchange = False
 
     # -- node-data exchange (steps 5-6) -------------------------------------
     def _begin_node_exchange(self) -> list:
+        """Post receives straight into node slots; gather + send local data.
+
+        Wall-clock fast path: receives land directly in the arranged node
+        array via ``irecv(out=...)``, and the step-5 gathers for *all*
+        requesters run as one ``np.take`` over the concatenated serve
+        indices into a pooled, parity double-buffered gather buffer; each
+        requester's message is a zero-copy slice of it, shipped with
+        ``owned=True``.  Parity reuse is safe because the exchange is a
+        rendezvous: a requester cannot start exchange ``k+1`` before
+        consuming our exchange-``k`` buffer, and we cannot reuse that
+        buffer (at exchange ``k+2``) before finishing ``k+1`` — which
+        waits on the requester's own ``k+1`` send.  Wire and memcpy
+        charges are unchanged (still advanced per requester).
+        """
         comm = self.env.comm
         arr = self._arr
         itemsize = self._nodes.itemsize
-        recv_reqs = [
-            (owner, comm.irecv(source=owner, tag=_TAG_DATA)) for owner in arr.remote_ids
-        ]
-        for requester, idx in self._serve.items():
-            buf = self._nodes[idx]  # gather into the send buffer (step 5 copy)
-            nbytes = len(idx) * self._node_width * itemsize * self._exchange_scale
-            self.env.clock.advance(self.env.host_memcpy_time(nbytes))
-            comm.isend(buf, requester, _TAG_DATA, wire_bytes=nbytes)
+        parity = self._exchange_count & 1
+        self._exchange_count += 1
+        recv_reqs = []
+        for owner in arr.remote_ids:
+            base = arr.remote_offsets[owner]
+            n = len(arr.remote_ids[owner])
+            recv_reqs.append(
+                comm.irecv(source=owner, tag=_TAG_DATA, out=self._nodes[base : base + n])
+            )
+        if self._serve_spans:
+            buf = self._send_bufs.get(parity)
+            if buf is None:
+                buf = np.empty((len(self._serve_idx), self._node_width))
+                self._send_bufs[parity] = buf
+            np.take(self._nodes, self._serve_idx, axis=0, out=buf)  # step-5 gather
+            for requester, lo, hi in self._serve_spans:
+                nbytes = (hi - lo) * self._node_width * itemsize * self._exchange_scale
+                self.env.clock.advance(self.env.host_memcpy_time(nbytes))
+                comm.isend(buf[lo:hi], requester, _TAG_DATA, wire_bytes=nbytes, owned=True)
         return recv_reqs
 
     def _finish_node_exchange(self, recv_reqs: list) -> None:
-        arr = self._arr
-        for owner, req in recv_reqs:
-            data = req.wait()
-            base = arr.remote_offsets[owner]
-            n = len(arr.remote_ids[owner])
-            self._nodes[base : base + n] = np.asarray(data).reshape(n, self._node_width)
+        for req in recv_reqs:
+            req.wait()  # delivery copies into the posted node slots
         self._data_dirty = False
 
     # -- device partitioning ------------------------------------------------
@@ -282,12 +490,75 @@ class IrregularReductionRuntime:
         for c in counts:
             ranges.append((lo, lo + int(c)))
             lo += int(c)
+        validate_range_tiling(ranges, self._arr.n_local)
         return ranges
 
-    def _edges_for_ranges(
-        self, edges: np.ndarray, ranges: list[tuple[int, int]]
-    ) -> list[np.ndarray]:
-        return split_edges_by_node_ranges(edges, ranges)
+    def _build_edge_cache(self, ranges: list[tuple[int, int]]) -> None:
+        """(Re)compute the per-device edge partitions and pooled objects.
+
+        Runs only on the first step and after a repartition (in practice:
+        once even-split, once more when the adaptive profile lands) —
+        every other step reuses the cache untouched.  One *combined*
+        full-range object registers scatter plans for all four endpoint
+        columns of the full local/cross edge arrays; the per-device
+        objects accumulate into segments of its value buffer, so the
+        kernel runs once per phase and a single planned scatter updates
+        every device.  Per-device drop counts for each column are
+        precomputed here (ranges tile ``[0, n_local)``, so one
+        ``searchsorted`` against the range boundaries assigns owners).
+        """
+        kernel = self._kernel
+        n_local = self._arr.n_local
+        local_sets = split_edges_by_node_ranges(self._local_edges, ranges)
+        cross_sets = split_edges_by_node_ranges(self._cross_edges, ranges)
+        # The combined object and its scatter plans cover [0, n_local) —
+        # independent of the device split — so they survive repartitions
+        # and are rebuilt only after set_mesh/set_kernel.
+        combined = self._combined
+        if combined is None:
+            combined = DenseReductionObject(
+                max(1, n_local), kernel.value_width, kernel.reduce_op, kernel.dtype
+            )
+            for column in (
+                self._local_edges[:, 0],
+                self._local_edges[:, 1],
+                self._cross_edges[:, 0],
+                self._cross_edges[:, 1],
+            ):
+                combined.plan_scatter(column)
+            self._combined = combined
+        his = np.array([hi for _, hi in ranges], dtype=np.int64)
+        drops = {}
+        for column in (
+            self._local_edges[:, 0],
+            self._local_edges[:, 1],
+            self._cross_edges[:, 0],
+            self._cross_edges[:, 1],
+        ):
+            owner = np.searchsorted(his, column, side="right")
+            owned = np.bincount(owner, minlength=len(ranges) + 1)[: len(ranges)]
+            drops[_keys_token(column)] = [int(len(column) - c) for c in owned]
+        sources = (
+            self._local_edges,
+            self._cross_edges,
+            self._local_edge_data,
+            self._cross_edge_data,
+        )
+        cache = []
+        for (lo, hi), sel_l, sel_c in zip(ranges, local_sets, cross_sets):
+            obj = DenseReductionObject(
+                max(1, hi - lo),
+                kernel.value_width,
+                kernel.reduce_op,
+                kernel.dtype,
+                key_lo=lo,
+                storage=combined.values[lo:hi] if hi > lo else None,
+            )
+            cache.append(_DevicePartition(sel_l, sel_c, sources, obj))
+        self._edge_cache = cache
+        self._multi = _MultiDeviceScatter(combined, [part.obj for part in cache], drops)
+        self._cache_builds += 1
+        self._result = np.empty((n_local, kernel.value_width), dtype=kernel.dtype)
 
     # -- one time step --------------------------------------------------------
     def start(self) -> None:
@@ -305,12 +576,16 @@ class IrregularReductionRuntime:
         if self._needs_id_exchange:
             self._exchange_ids()
 
-        # Adaptive (re)partitioning of the reduction space across devices.
+        # Adaptive (re)partitioning of the reduction space across devices;
+        # the edge-partition cache is rebuilt only when the split moved.
         new_ranges = self._device_ranges()
         repartitioned = new_ranges != self._ranges
         self._ranges = new_ranges
-        local_sets = self._edges_for_ranges(self._local_edges, new_ranges)
-        cross_sets = self._edges_for_ranges(self._cross_edges, new_ranges)
+        if repartitioned or self._edge_cache is None:
+            self._build_edge_cache(new_ranges)
+        else:
+            self._multi.reset()
+        cache = self._edge_cache
 
         # Charge GPU-side data movement: edges are uploaded on first use
         # and after every repartition; node data is re-uploaded whenever it
@@ -329,7 +604,7 @@ class IrregularReductionRuntime:
             ready = clock.now
             if isinstance(dev, GPUDevice):
                 if repartitioned or not self._gpu_edges_loaded:
-                    n_edges_dev = (len(local_sets[d]) + len(cross_sets[d])) * self._edge_scale
+                    n_edges_dev = (cache[d].n_local + cache[d].n_cross) * self._edge_scale
                     iv = dev.copy_engine.schedule(
                         ready, dev.transfer_time(n_edges_dev * edge_bytes_per), "edges.h2d"
                     )
@@ -348,13 +623,6 @@ class IrregularReductionRuntime:
         else:
             recv_reqs = []
 
-        # Per-device reduction objects over disjoint local node ranges.
-        objs = [
-            DenseReductionObject(
-                max(1, hi - lo), kernel.value_width, kernel.reduce_op, kernel.dtype, key_lo=lo
-            )
-            for lo, hi in new_ranges
-        ]
         # Record the SIII-E shared-memory partition counts (each partition
         # of the reduction space fits one SM's scratchpad).
         elem_bytes = kernel.value_width * kernel.dtype.itemsize
@@ -372,18 +640,27 @@ class IrregularReductionRuntime:
 
         device_busy = {d.name: 0.0 for d in env.devices}
 
-        def compute_phase(edge_sets, edge_array, edge_data, phase: str, ready_floor: float) -> float:
+        def compute_phase(phase: str, ready_floor: float) -> float:
+            # Functional execution: one kernel run over the phase's full
+            # edge array, fanned out to every device's pooled object (the
+            # per-device key filters keep ownership disjoint).  Virtual
+            # execution: each device is still charged for its own cached
+            # edge share, duplicated cross-device edges included.
             finish = ready_floor
+            cross = phase == "cross"
+            edges_ph = self._cross_edges if cross else self._local_edges
+            if len(edges_ph):
+                data_ph = self._cross_edge_data if cross else self._local_edge_data
+                kernel.edge_compute_batch(
+                    self._multi, edges_ph, data_ph, self._nodes, self._parameter
+                )
             for d, dev in enumerate(env.devices):
-                sel = edge_sets[d]
-                if len(sel) == 0:
+                n_d = cache[d].n_cross if cross else cache[d].n_local
+                if n_d == 0:
                     continue
-                edges_d = edge_array[sel]
-                data_d = None if edge_data is None else edge_data[sel]
-                kernel.edge_compute_batch(objs[d], edges_d, data_d, self._nodes, self._parameter)
                 dur = dev.partition_time(
                     kernel.work,
-                    len(sel) * self._edge_scale,
+                    n_d * self._edge_scale,
                     localized=self.localized,
                     framework=True,
                 )
@@ -392,31 +669,23 @@ class IrregularReductionRuntime:
                 device_busy[dev.name] += dur
                 finish = max(finish, iv.end)
                 env.trace.record(
-                    "compute", f"IR:{phase}:{dev.name}", iv.start, iv.end, edges=len(sel)
+                    "compute", f"IR:{phase}:{dev.name}", iv.start, iv.end, edges=n_d
                 )
             return finish
 
         if self.overlap and recv_reqs:
-            local_done = compute_phase(
-                local_sets, self._local_edges, self._local_edge_data, "local", t0
-            )
+            local_done = compute_phase("local", t0)
             self._finish_node_exchange(recv_reqs)
             exchange_done = clock.now
             cross_ready = max(local_done, exchange_done)
-            cross_done = compute_phase(
-                cross_sets, self._cross_edges, self._cross_edge_data, "cross", cross_ready
-            )
+            cross_done = compute_phase("cross", cross_ready)
             end = max(local_done, cross_done)
         else:
             if recv_reqs:
                 self._finish_node_exchange(recv_reqs)
             ready = clock.now
-            local_done = compute_phase(
-                local_sets, self._local_edges, self._local_edge_data, "local", ready
-            )
-            cross_done = compute_phase(
-                cross_sets, self._cross_edges, self._cross_edge_data, "cross", ready
-            )
+            local_done = compute_phase("local", ready)
+            cross_done = compute_phase("cross", ready)
             end = max(local_done, cross_done)
         clock.advance_to(end)
 
@@ -424,7 +693,7 @@ class IrregularReductionRuntime:
         # first step, repartition in the second).
         if self.adaptive:
             counts = np.array(
-                [len(local_sets[d]) + len(cross_sets[d]) for d in range(len(env.devices))],
+                [cache[d].n_local + cache[d].n_cross for d in range(len(env.devices))],
                 dtype=np.float64,
             )
             # Profile with the *recurring* per-step costs (compute + node
@@ -439,8 +708,12 @@ class IrregularReductionRuntime:
             if counts.sum() > 0 and not self._partitioner.profiled:
                 self._partitioner.observe(counts, times)
 
-        # Concatenate device results over the disjoint reduction space.
-        self._result = np.concatenate([o.values for o in objs], axis=0)[: self._arr.n_local]
+        # Copy the combined result (whose segments are the per-device
+        # objects' storage) into the preallocated result buffer.
+        n_local = self._arr.n_local
+        if n_local:
+            np.copyto(self._result, self._multi.combined.values[:n_local])
+        self._have_result = True
         self._timestep += 1
         env.trace.record("compute", "IR:step", t0, clock.now, step=self._timestep)
 
@@ -452,8 +725,12 @@ class IrregularReductionRuntime:
         return self._arr.lo, self._arr.hi
 
     def get_local_reduction(self) -> np.ndarray:
-        """``(n_local, value_width)`` reduction result over local nodes."""
-        if self._result is None:
+        """``(n_local, value_width)`` reduction result over local nodes.
+
+        The returned array is a pooled buffer overwritten by the next
+        :meth:`start`; copy it to keep a step's result beyond that.
+        """
+        if not self._have_result:
             raise ConfigurationError("start() has not produced a result yet")
         return self._result
 
@@ -466,7 +743,9 @@ class IrregularReductionRuntime:
         """Replace local node data (paper: ``ir->update_nodedata(result)``).
 
         Marks the data dirty so the next :meth:`start` re-runs the step-5/6
-        exchange (remote copies everywhere are stale now).
+        exchange (remote copies everywhere are stale now).  The edge
+        partition cache holds only connectivity-derived state, so it
+        survives node-data updates untouched.
 
         SPMD contract: if *any* rank updates its node data between two
         ``start()`` calls, **every** rank must call ``update_nodedata``

@@ -168,6 +168,32 @@ def arrange_nodes(
     return arrangement, local_edges, cross_edges
 
 
+def validate_range_tiling(ranges: list[tuple[int, int]], total: int) -> None:
+    """Raise unless ``ranges`` exactly tile ``[0, total)``.
+
+    The device split of the reduction space must neither drop nor
+    double-cover a node: every node is owned by exactly one device, which
+    is what lets device results be concatenated instead of combined.
+    Rounding bugs in an adaptive split would silently corrupt results, so
+    the runtime checks the tiling on every (re)partition.
+    """
+    if not ranges:
+        raise ValidationError("device ranges must not be empty")
+    prev = 0
+    for lo, hi in ranges:
+        if lo != prev or hi < lo:
+            raise ValidationError(
+                f"device ranges {ranges} do not tile [0, {total}): "
+                f"range ({lo}, {hi}) does not start at {prev}"
+            )
+        prev = hi
+    if prev != total:
+        raise ValidationError(
+            f"device ranges {ranges} cover [0, {prev}) but the reduction "
+            f"space is [0, {total})"
+        )
+
+
 def split_edges_by_node_ranges(
     edges_slots: np.ndarray, ranges: list[tuple[int, int]]
 ) -> list[np.ndarray]:
@@ -178,8 +204,28 @@ def split_edges_by_node_ranges(
     edges are duplicated); each device's reduction object then filters
     updates to its own range.  Returns per-device index arrays into
     ``edges_slots``.
+
+    Contiguous ascending ranges (the adaptive partitioner always produces
+    these) take an ``O(E log R)`` path: one ``searchsorted`` per endpoint
+    column finds each endpoint's owning device, then each device selects
+    its edges with a single equality test.  Arbitrary (overlapping or
+    gapped) ranges fall back to per-range interval masks.
     """
     edges_slots = np.asarray(edges_slots)
+    if not ranges:
+        return []
+    contiguous = all(hi >= lo for lo, hi in ranges) and all(
+        ranges[i][1] == ranges[i + 1][0] for i in range(len(ranges) - 1)
+    )
+    if contiguous:
+        bounds = np.array([lo for lo, _ in ranges] + [ranges[-1][1]], dtype=np.int64)
+        e0, e1 = edges_slots[:, 0], edges_slots[:, 1]
+        o0 = np.searchsorted(bounds, e0, side="right") - 1
+        o1 = np.searchsorted(bounds, e1, side="right") - 1
+        # Endpoints outside [lo0, hiN) — remote-node slots — own no device.
+        o0 = np.where((e0 >= bounds[0]) & (e0 < bounds[-1]), o0, -1)
+        o1 = np.where((e1 >= bounds[0]) & (e1 < bounds[-1]), o1, -1)
+        return [np.flatnonzero((o0 == d) | (o1 == d)) for d in range(len(ranges))]
     out = []
     for lo, hi in ranges:
         in0 = (edges_slots[:, 0] >= lo) & (edges_slots[:, 0] < hi)

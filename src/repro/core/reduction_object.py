@@ -5,8 +5,9 @@ key-value insertion".  Two implementations:
 
 - :class:`DenseReductionObject` — the fast path when the key space is a
   dense integer range (cluster IDs, node IDs).  Backed by one NumPy array;
-  ``insert_many`` uses unbuffered ``ufunc.at`` scatter so duplicate keys in
-  one batch combine correctly (the defining property of a reduction).
+  ``insert_many`` uses unbuffered scatter (``np.bincount`` for float64
+  sums, ``ufunc.at`` otherwise) so duplicate keys in one batch combine
+  correctly (the defining property of a reduction).
 - :class:`HashReductionObject` — a dict-backed variant for sparse or
   unknown key spaces; same interface, used for API completeness and as a
   semantic oracle in tests.
@@ -16,6 +17,16 @@ are silently dropped.  That filter is how two of the paper's rules are
 enforced mechanically: "when an edge is being processed, only the node(s)
 belonging to the current partition is updated" (inter-process), and the
 same rule again between devices within a process.
+
+Iterative patterns that scatter through the *same* indirection array every
+time step (the irregular-reduction runtime) can precompute the scatter
+layout once with :meth:`DenseReductionObject.plan_scatter` — the CPU
+analogue of the paper's §III-E reduction localization: for float64 sums a
+precomputed flattened bin index turns the per-step scatter into a single
+``np.bincount``; for min/max a CSR-style segmented layout (stable sort by
+owning key + segment boundaries) applies with ``ufunc.reduceat``.
+``insert_many`` recognizes planned key arrays automatically, so user
+kernels need no changes to benefit.
 
 Insert counting: every object tracks how many inserts were *attempted*
 (``n_inserts``), which the cost model uses to charge atomic operations.
@@ -31,6 +42,122 @@ from repro.core.api import resolve_op
 from repro.util.errors import ValidationError
 
 
+class ScatterPlan:
+    """Precomputed scatter layout for one fixed key array.
+
+    Holds everything :meth:`DenseReductionObject.insert_many` needs to
+    apply a batch of values against ``keys`` without touching the keys
+    again:
+
+    - For float64 **sums**: a precomputed flattened bin-index array
+      (``key * width + column``) so the whole scatter is one
+      ``np.bincount`` over the raw values — no filtering or sorting at
+      apply time.  When most keys are in range, out-of-range keys are
+      redirected to a trailing trash bin; when the in-range subset is
+      small (a device object fed the full edge array), the plan instead
+      precomputes a take-index so the apply gathers just its own values
+      first — total scatter work then stays proportional to the in-range
+      entries, not the batch.  Bins accumulate in input order either way,
+      exactly like the unplanned per-column ``np.bincount``, so results
+      stay bit-identical.
+    - For **min/max**: a CSR-style segmented layout (stable sort order +
+      segment starts + the unique owning index per segment) applied with
+      ``ufunc.reduceat`` — order-insensitive ops make the re-grouping
+      exact.
+    - For anything else: the in-range filter and shifted indices for the
+      generic ``ufunc.at`` path.
+
+    A plan keeps a reference to its key array: the array must stay alive
+    (and unmodified) for the plan's address-based identity to be valid.
+    """
+
+    __slots__ = (
+        "keys",
+        "n_keys",
+        "valid",
+        "all_valid",
+        "n_dropped",
+        "idx",
+        "take_idx",
+        "take_buf",
+        "flat_idx",
+        "n_bins",
+        "order",
+        "seg_starts",
+        "uniq_idx",
+    )
+
+    def __init__(
+        self,
+        keys: np.ndarray,
+        key_lo: int,
+        key_hi: int,
+        value_width: int = 1,
+        fast_sum: bool = False,
+    ) -> None:
+        self.keys = keys
+        self.n_keys = len(keys)
+        n_range = key_hi - key_lo
+        valid = (keys >= key_lo) & (keys < key_hi)
+        self.all_valid = bool(valid.all())
+        self.valid = None if self.all_valid else valid
+        self.n_dropped = 0 if self.all_valid else int(self.n_keys - valid.sum())
+        self.take_idx = None
+        self.take_buf = None
+        if fast_sum:
+            n_valid = self.n_keys - self.n_dropped
+            if not self.all_valid and 2 * n_valid < self.n_keys:
+                # Sparse ownership: gather just the in-range values (pooled
+                # buffer), then bincount the filtered keys directly.
+                self.take_idx = np.flatnonzero(valid).astype(np.intp)
+                self.take_buf = np.empty((n_valid, value_width))
+                owner = keys[self.take_idx] - key_lo
+                self.n_bins = n_range * value_width
+            else:
+                # Dense ownership: one bincount over the whole batch, with
+                # a trailing trash bin absorbing out-of-range keys.
+                owner = np.where(valid, keys - key_lo, n_range)
+                self.n_bins = (n_range + 1) * value_width
+            if value_width == 1:
+                flat = owner
+            else:
+                flat = (owner[:, None] * value_width + np.arange(value_width)).ravel()
+            self.flat_idx = flat.astype(np.intp, copy=False)
+            self.idx = None
+            self.order = None
+            self.seg_starts = None
+            self.uniq_idx = None
+            return
+        self.flat_idx = None
+        self.n_bins = 0
+        idx = (keys if self.all_valid else keys[valid]) - key_lo
+        self.idx = idx.astype(np.intp, copy=False)
+        if len(self.idx) and np.any(np.diff(self.idx) < 0):
+            self.order = np.argsort(self.idx, kind="stable")
+            sorted_idx = self.idx[self.order]
+        else:
+            self.order = None  # already segment-sorted: skip the gather
+            sorted_idx = self.idx
+        if len(sorted_idx):
+            self.seg_starts = np.concatenate(
+                [[0], np.flatnonzero(np.diff(sorted_idx)) + 1]
+            )
+            self.uniq_idx = sorted_idx[self.seg_starts]
+        else:
+            self.seg_starts = np.zeros(0, dtype=np.intp)
+            self.uniq_idx = np.zeros(0, dtype=np.intp)
+
+
+def _keys_token(keys: np.ndarray) -> tuple:
+    """Identity of a key array's memory region (pointer, shape, strides).
+
+    Two live arrays share a token only if they view the same data — the
+    exact case the plan cache wants: ``edges[:, 0]`` rebuilt every step
+    from the same cached edge array hits the plan registered for it.
+    """
+    return (keys.__array_interface__["data"][0], keys.shape, keys.strides)
+
+
 class DenseReductionObject:
     """Reduction object over integer keys in ``[key_lo, key_hi)``.
 
@@ -44,7 +171,17 @@ class DenseReductionObject:
         op: str = "sum",
         dtype: np.dtype | type = np.float64,
         key_lo: int = 0,
+        storage: np.ndarray | None = None,
     ) -> None:
+        """
+        Args:
+            storage: Optional external value buffer of shape
+                ``(num_keys, value_width)`` to accumulate into (filled
+                with the op's identity here).  Lets several objects tile
+                segments of one shared array — the irregular runtime backs
+                its per-device objects with slices of the combined result
+                so one full-range scatter updates all of them at once.
+        """
         if num_keys <= 0 or value_width <= 0:
             raise ValidationError("num_keys and value_width must be > 0")
         self.op = op
@@ -53,17 +190,57 @@ class DenseReductionObject:
         self.key_hi = int(key_lo) + int(num_keys)
         self.value_width = int(value_width)
         self.dtype = np.dtype(dtype)
-        self.values = np.full((num_keys, value_width), self._identity, dtype=self.dtype)
+        if storage is None:
+            self.values = np.full((num_keys, value_width), self._identity, dtype=self.dtype)
+        else:
+            if storage.shape != (num_keys, value_width) or storage.dtype != self.dtype:
+                raise ValidationError(
+                    f"storage must be {(num_keys, value_width)} of {self.dtype}, "
+                    f"got {storage.shape} of {storage.dtype}"
+                )
+            storage[...] = self._identity
+            self.values = storage
         # Sum over float64 can use np.bincount instead of ufunc.at: both
         # accumulate in input order, so results are identical, but bincount
         # is ~2x faster on the scatter-heavy emit paths.
         self._fast_sum = self._ufunc is np.add and self.dtype == np.float64
+        self._cols = np.arange(self.value_width)
+        self._plans: dict[tuple, ScatterPlan] = {}
         self.n_inserts = 0
         self.n_dropped = 0
 
     @property
     def num_keys(self) -> int:
         return self.key_hi - self.key_lo
+
+    def reset(self) -> None:
+        """Refill with the identity element, keeping buffers and plans.
+
+        Pooled objects call this between time steps instead of being
+        reallocated; registered scatter plans survive because they depend
+        only on the key layout, not on accumulated values.
+        """
+        self.values.fill(self._identity)
+        self.n_inserts = 0
+        self.n_dropped = 0
+
+    def plan_scatter(self, keys: np.ndarray) -> ScatterPlan:
+        """Precompute and register the scatter layout for ``keys``.
+
+        Subsequent ``insert_many(keys_view, values)`` calls whose key
+        argument views the same memory (same pointer/shape/strides — e.g.
+        a column view rebuilt from the same cached edge array) skip
+        filtering and indexing entirely and, for float64 sums, scatter via
+        the segmented ``np.add.reduceat`` fast path.  The caller must keep
+        ``keys`` unmodified while the plan is registered (the plan itself
+        holds a reference, so lifetime is guaranteed).
+        """
+        keys = np.asarray(keys)
+        plan = ScatterPlan(
+            keys, self.key_lo, self.key_hi, self.value_width, self._fast_sum
+        )
+        self._plans[_keys_token(keys)] = plan
+        return plan
 
     def insert(self, key: int, value) -> None:
         """Insert one key/value pair (paper's ``obj->insert(&key, &val)``)."""
@@ -78,9 +255,10 @@ class DenseReductionObject:
     def insert_many(self, keys: np.ndarray, values: np.ndarray) -> None:
         """Vectorized insert of ``len(keys)`` pairs.
 
-        Duplicate keys within the batch combine correctly (``ufunc.at`` is
-        unbuffered scatter).  ``values`` may be ``(n,)`` when
-        ``value_width == 1`` or ``(n, value_width)``.
+        Duplicate keys within the batch combine correctly and in input
+        order (unbuffered scatter), so inserting a batch into a fresh
+        object is bit-identical to the per-element loop.  ``values`` may
+        be ``(n,)`` when ``value_width == 1`` or ``(n, value_width)``.
         """
         keys = np.asarray(keys)
         values = np.asarray(values, dtype=self.dtype)
@@ -92,18 +270,66 @@ class DenseReductionObject:
                 f"({len(keys)}, {self.value_width})"
             )
         self.n_inserts += len(keys)
+        if self._plans:
+            plan = self._plans.get(_keys_token(keys))
+            if plan is not None:
+                self._insert_planned(plan, values)
+                return
         mask = (keys >= self.key_lo) & (keys < self.key_hi)
         if not mask.all():
             self.n_dropped += int((~mask).sum())
             keys = keys[mask]
             values = values[mask]
-        if self._fast_sum and len(keys):
-            idx = keys - self.key_lo
-            n = self.num_keys
-            for j in range(self.value_width):
-                self.values[:, j] += np.bincount(idx, weights=values[:, j], minlength=n)
+        if not len(keys):
+            return
+        if self._fast_sum:
+            self._scatter_sum(keys - self.key_lo, values)
         else:
             self._ufunc.at(self.values, keys - self.key_lo, values)
+
+    def _scatter_sum(self, idx: np.ndarray, values: np.ndarray) -> None:
+        """Input-order bincount scatter-add; one pass for any width.
+
+        ``value_width > 1`` flattens to ``idx * width + column`` bins so a
+        single ``np.bincount`` covers all columns (each flat bin still
+        receives its contributions in input order, so the result is
+        bit-identical to the per-column loop it replaces).
+        """
+        w = self.value_width
+        if w == 1:
+            self.values[:, 0] += np.bincount(
+                idx, weights=values[:, 0], minlength=self.num_keys
+            )
+        else:
+            flat = (idx[:, None] * w + self._cols).ravel()
+            sums = np.bincount(flat, weights=values.ravel(), minlength=self.num_keys * w)
+            self.values += sums.reshape(self.num_keys, w)
+
+    def _insert_planned(self, plan: ScatterPlan, values: np.ndarray) -> None:
+        """Apply a batch through a precomputed scatter plan."""
+        self.n_dropped += plan.n_dropped
+        if self._fast_sum:
+            if plan.n_keys == 0:
+                return
+            if plan.take_idx is not None:
+                if not len(plan.take_idx):
+                    return
+                values = np.take(values, plan.take_idx, axis=0, out=plan.take_buf)
+            sums = np.bincount(
+                plan.flat_idx, weights=values.ravel(), minlength=plan.n_bins
+            )
+            self.values += sums.reshape(-1, self.value_width)[: self.num_keys]
+            return
+        if not plan.all_valid:
+            values = values[plan.valid]
+        if not len(values):
+            return
+        if self._ufunc is np.minimum or self._ufunc is np.maximum:
+            sv = values if plan.order is None else values[plan.order]
+            segs = self._ufunc.reduceat(sv, plan.seg_starts, axis=0)
+            self.values[plan.uniq_idx] = self._ufunc(self.values[plan.uniq_idx], segs)
+        else:
+            self._ufunc.at(self.values, plan.idx, values)
 
     def merge(self, other: "DenseReductionObject") -> None:
         """Combine another object elementwise (same keys, same op)."""
@@ -171,11 +397,44 @@ class HashReductionObject:
             self._table[key] = self._ufunc(existing, value)
 
     def insert_many(self, keys: Iterable, values: np.ndarray) -> None:
+        """Vectorized insert: group duplicate keys, then one fold per key.
+
+        Keys that form a sortable NumPy array are grouped with
+        ``np.unique(..., return_inverse=True)`` and combined per group
+        through the dense scatter machinery, leaving one dict update per
+        *unique* key instead of one per pair.  Within a group, values
+        combine in input order; a pre-existing table entry is then folded
+        once with the group total (for floating sums that reassociates the
+        accumulation — equal to within rounding, exact for min/max).
+        Object-dtype keys (tuples, mixed types) fall back to the
+        per-element loop.
+        """
         values = np.asarray(values, dtype=self.dtype)
         if values.ndim == 1:
             values = values[:, None]
-        for key, val in zip(keys, values):
-            self.insert(key, val)
+        try:
+            keys_arr = np.asarray(keys)
+            fallback = (
+                keys_arr.dtype == object
+                or keys_arr.ndim != 1
+                or values.shape != (len(keys_arr), self.value_width)
+            )
+        except (ValueError, TypeError):  # ragged / mixed-type key sequences
+            fallback = True
+        if fallback:
+            for key, val in zip(keys, values):
+                self.insert(key, val)
+            return
+        self.n_inserts += len(keys_arr)
+        if not len(keys_arr):
+            return
+        uniq, inverse = np.unique(keys_arr, return_inverse=True)
+        grouped = np.full((len(uniq), self.value_width), self._identity, dtype=self.dtype)
+        self._ufunc.at(grouped, inverse, values)
+        table = self._table
+        for key, val in zip(uniq.tolist(), grouped):
+            existing = table.get(key)
+            table[key] = val.copy() if existing is None else self._ufunc(existing, val)
 
     def merge(self, other: "HashReductionObject") -> None:
         if other.op != self.op or other.value_width != self.value_width:

@@ -6,7 +6,7 @@ import pytest
 from repro.core.api import IRKernel
 from repro.core.env import RuntimeEnv
 from repro.device.work import WorkModel
-from repro.util.errors import ConfigurationError
+from repro.util.errors import ConfigurationError, ValidationError
 from tests.conftest import run_spmd
 
 N = 120
@@ -188,7 +188,55 @@ def test_adaptive_off_keeps_even_split():
     assert first == second
 
 
-def test_reset_mesh_triggers_new_id_exchange():
+def test_repartition_invalidates_edge_cache_and_preserves_results():
+    """Forced mid-run repartition: the cached device partitions are rebuilt
+    exactly once, step results stay bit-identical across the rebuild, and
+    the per-device drop accounting matches the cross-device duplication."""
+
+    def prog(ctx):
+        env = RuntimeEnv(ctx, "cpu+1gpu")
+        ir = env.get_IR()
+        ir.set_kernel(_kernel())
+        # Large model scale makes the profiled split differ from even.
+        ir.set_mesh(EDGES, NODES, WEIGHTS, model_edges=len(EDGES) * 1000)
+        ir.start()
+        builds1, ranges1 = ir._cache_builds, ir._ranges
+        r1 = ir.get_local_reduction()[:, 0].copy()
+        ir.start()
+        builds2, ranges2 = ir._cache_builds, ir._ranges
+        r2 = ir.get_local_reduction()[:, 0].copy()
+        ir.start()  # stable split: cache must be reused, not rebuilt
+        builds3 = ir._cache_builds
+        # Accounting invariant: summed over devices, kept inserts equal
+        # both endpoints of every local edge plus the one owned endpoint
+        # of every cross edge (the other endpoint is a remote slot).
+        kept = sum(p.obj.n_inserts - p.obj.n_dropped for p in ir._edge_cache)
+        expect = 2 * len(ir._local_edges) + len(ir._cross_edges)
+        return builds1, builds2, builds3, ranges1 != ranges2, r1, r2, kept, expect
+
+    res = run_spmd(prog, nodes=1, gpus_per_node=1)
+    builds1, builds2, builds3, repartitioned, r1, r2, kept, expect = res.values[0]
+    assert repartitioned
+    assert (builds1, builds2, builds3) == (1, 2, 2)
+    np.testing.assert_array_equal(r1, r2)  # bit-identical across the rebuild
+    np.testing.assert_allclose(r1, _reference(), rtol=1e-12)
+    assert kept == expect
+
+
+def test_device_ranges_must_tile_reduction_space():
+    """A broken adaptive split (dropped or double-covered nodes) must be
+    rejected before it can silently corrupt results."""
+
+    def prog(ctx):
+        env = RuntimeEnv(ctx, "cpu+1gpu")
+        ir = env.get_IR()
+        ir.set_kernel(_kernel())
+        ir.set_mesh(EDGES, NODES, WEIGHTS)
+        ir._partitioner.split = lambda n: [n - 1, 0]  # loses the last node
+        ir.start()
+
+    with pytest.raises(ValidationError, match="reduction\\s+space"):
+        run_spmd(prog, nodes=1, gpus_per_node=1)
     def prog(ctx):
         env = RuntimeEnv(ctx, "cpu")
         ir = env.get_IR()

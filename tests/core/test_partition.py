@@ -12,6 +12,7 @@ from repro.core.partition import (
     owner_of,
     partition_counts,
     split_edges_by_node_ranges,
+    validate_range_tiling,
 )
 from repro.util.errors import ValidationError
 
@@ -132,6 +133,36 @@ def test_slot_mapping_unknown_id_raises():
 def test_arrange_nodes_bad_part():
     with pytest.raises(ValidationError):
         arrange_nodes(np.array([[0, 1]]), block_partition(4, 2), 2)
+
+
+def test_validate_range_tiling_accepts_exact_tilings():
+    validate_range_tiling([(0, 9)], 9)
+    validate_range_tiling([(0, 4), (4, 9)], 9)
+    validate_range_tiling([(0, 4), (4, 4), (4, 9)], 9)  # empty device is fine
+    validate_range_tiling([(0, 0)], 0)
+
+
+@given(st.integers(0, 200), st.integers(1, 8))
+def test_validate_range_tiling_accepts_every_block_partition(n, parts):
+    offsets = block_partition(n, parts)
+    ranges = [(int(offsets[p]), int(offsets[p + 1])) for p in range(parts)]
+    validate_range_tiling(ranges, n)
+
+
+@pytest.mark.parametrize(
+    "ranges, total",
+    [
+        ([], 0),  # no devices
+        ([(0, 3), (4, 9)], 9),  # gap: node 3 unowned
+        ([(0, 5), (4, 9)], 9),  # overlap: node 4 double-covered
+        ([(0, 3)], 9),  # short: tail of the space dropped
+        ([(1, 9)], 9),  # does not start at 0
+        ([(0, 5), (5, 3)], 3),  # inverted range
+    ],
+)
+def test_validate_range_tiling_rejects_broken_tilings(ranges, total):
+    with pytest.raises(ValidationError):
+        validate_range_tiling(ranges, total)
 
 
 def test_split_edges_by_node_ranges_duplicates_cross_device():
