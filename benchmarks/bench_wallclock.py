@@ -211,6 +211,48 @@ def bench_kmeans_emit(cfg: dict) -> dict:
     }
 
 
+def bench_obs_overhead(cfg: dict) -> dict:
+    """Instrumented vs uninstrumented wall clock for one functional run.
+
+    The observability layer must be near-free: runs measure heat3d with and
+    without per-rank :class:`repro.obs.Recorder` instances *interleaved*
+    (so machine noise hits both alike), report best-of walls for each, and
+    require the virtual makespans to be bit-identical.  CI gates
+    ``overhead_ratio`` at 1 + _OBS_OVERHEAD_THRESHOLD.
+
+    Runs a single rank (the engine's inline path) on a larger grid than the
+    other smoke cases: multi-rank runs carry thread-rendezvous jitter far
+    above 5%, and a sub-10ms run sits in the timer noise floor — either
+    would make a 5% gate flaky no matter how the real overhead moved.
+    """
+    from repro.obs import Recorder
+
+    cluster = ohio_cluster(1)
+    config = heat3d.Heat3DConfig(functional_shape=(96, 96, 96), simulated_steps=8)
+    plain_wall = inst_wall = float("inf")
+    plain_run = inst_run = None
+    for _ in range(max(cfg["repeats"], 7)):
+        t0 = time.perf_counter()
+        plain_run = heat3d.run(cluster, config)
+        plain_wall = min(plain_wall, time.perf_counter() - t0)
+        t0 = time.perf_counter()
+        inst_run = heat3d.run(cluster, config, recorder_factory=Recorder)
+        inst_wall = min(inst_wall, time.perf_counter() - t0)
+    if inst_run.makespan != plain_run.makespan:
+        raise AssertionError(
+            f"instrumentation changed the virtual makespan: "
+            f"{plain_run.makespan!r} -> {inst_run.makespan!r}"
+        )
+    return {
+        "obs_overhead": {
+            "wall_s": round(inst_wall, 4),
+            "base_wall_s": round(plain_wall, 4),
+            "overhead_ratio": round(inst_wall / max(plain_wall, 1e-9), 4),
+            "makespan": inst_run.makespan,
+        }
+    }
+
+
 def collect(mode: str) -> dict:
     cfg = _configs(mode)
     record = {
@@ -224,6 +266,7 @@ def collect(mode: str) -> dict:
     record["cases"].update(bench_stencil_steps(cfg))
     record["cases"].update(bench_ir_steps(cfg))
     record["cases"].update(bench_kmeans_emit(cfg))
+    record["cases"].update(bench_obs_overhead(cfg))
     return record
 
 
@@ -242,16 +285,30 @@ def _git_rev() -> str:
         return "unknown"
 
 
+#: Allowed instrumented-over-uninstrumented wall-clock ratio overhead.
+_OBS_OVERHEAD_THRESHOLD = 0.05
+
+
 def compare(record: dict, baseline_path: Path, threshold: float) -> int:
     """Fail (non-zero) on wall-clock regression beyond ``threshold``.
 
     Virtual makespans must match the baseline exactly — any drift means an
     optimization changed simulated physics, which is a bug regardless of
-    wall-clock wins.
+    wall-clock wins.  The ``obs_overhead`` case additionally gates the
+    instrumented run at within 5% of the uninstrumented one (measured
+    within this run, so the gate needs no baseline entry).
     """
     baseline = json.loads(baseline_path.read_text())
     base_cases = baseline["cases"]
     failures = []
+    over = record["cases"].get("obs_overhead")
+    if over is not None and over["overhead_ratio"] > 1.0 + _OBS_OVERHEAD_THRESHOLD:
+        failures.append(
+            f"obs_overhead: instrumented run {over['wall_s']}s vs "
+            f"{over['base_wall_s']}s uninstrumented "
+            f"({over['overhead_ratio']:.3f}x, "
+            f"threshold {1.0 + _OBS_OVERHEAD_THRESHOLD:.2f}x)"
+        )
     for name, case in record["cases"].items():
         base = base_cases.get(name)
         if base is None:

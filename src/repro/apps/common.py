@@ -22,6 +22,9 @@ class AppRun:
     makespan: float
     seq_time: float
     result: Any = None
+    #: The underlying SPMD result (per-rank values, final clocks, traces);
+    #: kept for observability (``repro profile``), excluded from equality.
+    spmd: Any = dataclasses.field(default=None, compare=False, repr=False)
 
     @property
     def speedup(self) -> float:

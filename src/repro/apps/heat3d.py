@@ -213,6 +213,7 @@ def run(
         makespan=makespan,
         seq_time=seq,
         result=result.values[0]["grid"],
+        spmd=result,
     )
 
 

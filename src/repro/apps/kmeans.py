@@ -232,6 +232,7 @@ def run(
         makespan=result.makespan,
         seq_time=seq,
         result=result.values[0],
+        spmd=result,
     )
 
 

@@ -325,6 +325,7 @@ def run(
         makespan=total_time(result.values, config),
         seq_time=seq,
         result=result.values,
+        spmd=result,
     )
 
 

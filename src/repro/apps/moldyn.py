@@ -287,6 +287,7 @@ def run(
         makespan=max(per_rank),
         seq_time=seq,
         result=result.values,
+        spmd=result,
     )
 
 

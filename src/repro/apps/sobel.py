@@ -163,6 +163,7 @@ def run(
         makespan=max(per_rank_totals),
         seq_time=seq,
         result=result.values[0]["image"],
+        spmd=result,
     )
 
 

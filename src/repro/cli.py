@@ -3,8 +3,11 @@
 Examples::
 
     python -m repro info
+    python -m repro info --devices
     python -m repro run kmeans --nodes 4 --mix cpu+2gpu
     python -m repro run heat3d --nodes 8 --mix cpu --no-overlap
+    python -m repro run heat3d --trace-out trace.json
+    python -m repro profile heat3d --scale quick
     python -m repro figure table2 --scale quick
     python -m repro codesize
 """
@@ -72,7 +75,12 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--version", action="version", version=f"repro {__version__}")
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sub.add_parser("info", help="describe the simulated platform")
+    info_p = sub.add_parser("info", help="describe the simulated platform")
+    info_p.add_argument(
+        "--devices",
+        action="store_true",
+        help="print per-device roofline parameters and the timeline inventory",
+    )
 
     run_p = sub.add_parser("run", help="run one application on the simulated cluster")
     run_p.add_argument("app", choices=sorted(_APPS))
@@ -117,6 +125,39 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="K",
         help="snapshot every K iterations (required with --crash-rank)",
     )
+    run_p.add_argument(
+        "--trace-out",
+        metavar="PATH",
+        default=None,
+        help="record the run and write a Chrome-trace/Perfetto JSON here",
+    )
+
+    prof_p = sub.add_parser(
+        "profile", help="run one application under observation and report on it"
+    )
+    prof_p.add_argument("app", choices=sorted(_APPS))
+    prof_p.add_argument("--nodes", type=int, default=4, help="cluster nodes")
+    prof_p.add_argument(
+        "--mix", choices=sorted(DEVICE_MIXES), default="cpu+2gpu", help="device mix per node"
+    )
+    prof_p.add_argument(
+        "--scale",
+        choices=["quick", "full"],
+        default="quick",
+        help="quick: small CI-sized inputs; full: the app's paper-sized defaults",
+    )
+    prof_p.add_argument(
+        "--format",
+        choices=["text", "json"],
+        default="text",
+        help="report format on stdout (text report or machine-readable JSON)",
+    )
+    prof_p.add_argument(
+        "--trace-out",
+        metavar="PATH",
+        default=None,
+        help="also write a Chrome-trace/Perfetto JSON of the run here",
+    )
 
     fig_p = sub.add_parser("figure", help="regenerate one paper table/figure")
     fig_p.add_argument("which", choices=sorted(_FIGURES))
@@ -126,7 +167,7 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def cmd_info() -> str:
+def cmd_info(args: argparse.Namespace | None = None) -> str:
     cluster = ohio_cluster()
     node = cluster.node
     gpu = node.gpus[0]
@@ -143,6 +184,48 @@ def cmd_info() -> str:
         f"  apps:    {', '.join(sorted(_APPS))}",
         f"  mixes:   {', '.join(sorted(DEVICE_MIXES))}",
     ]
+    if args is not None and getattr(args, "devices", False):
+        lines.append("")
+        lines.append(_device_details(cluster))
+    return "\n".join(lines)
+
+
+def _device_details(cluster) -> str:
+    """Roofline parameters per device plus the per-rank timeline inventory."""
+    from repro.device.cpu import CPUDevice
+    from repro.device.gpu import GPUDevice
+
+    node = cluster.node
+    cpu, gpu = node.cpu, node.gpus[0]
+    lines = [
+        "Device roofline parameters (per node):",
+        f"  {cpu.name}:",
+        f"    cores            : {cpu.cores}",
+        f"    flops/core       : {cpu.core_flops / 1e9:.1f} GFLOP/s "
+        f"({cpu.total_flops / 1e9:.0f} GFLOP/s total)",
+        f"    mem bandwidth    : {cpu.mem_bandwidth / 1e9:.1f} GB/s (shared by all cores)",
+        f"    cache            : {cpu.cache_bytes / 2**20:.1f} MiB",
+        f"  {gpu.name} (x{node.num_gpus}):",
+        f"    SMs              : {gpu.sms}",
+        f"    flops            : {gpu.flops / 1e9:.0f} GFLOP/s",
+        f"    mem bandwidth    : {gpu.mem_bandwidth / 1e9:.0f} GB/s",
+        f"    shared mem/SM    : {gpu.shared_mem_per_sm / 1024:.0f} KiB",
+        f"    device memory    : {gpu.device_mem / 2**30:.1f} GiB",
+        f"    PCIe             : {gpu.pcie_bandwidth / 1e9:.1f} GB/s, "
+        f"{gpu.pcie_latency * 1e6:.1f} us latency",
+        f"    kernel launch    : {gpu.kernel_launch_overhead * 1e6:.1f} us",
+        f"    atomic insert    : {gpu.atomic_cost * 1e9:.1f} ns global, "
+        f"{gpu.shared_atomic_cost * 1e9:.2f} ns shared/localized",
+        "",
+        "Timeline inventory (per rank; tracks in `repro profile --trace-out`):",
+    ]
+    names: list[str] = []
+    dev_cpu = CPUDevice(cpu)
+    names.extend(t.name for t in dev_cpu.timelines())
+    for i in range(node.num_gpus):
+        names.extend(t.name for t in GPUDevice(gpu, i).timelines())
+    names.extend(("nic{rank}.egress", "nic{rank}.ingress"))
+    lines.append("  " + ", ".join(names))
     return "\n".join(lines)
 
 
@@ -185,6 +268,10 @@ def cmd_run(args: argparse.Namespace) -> str:
         kwargs["fault_plan"] = plan
         if args.checkpoint_every is not None:
             kwargs["checkpoint_every"] = args.checkpoint_every
+    if args.trace_out is not None:
+        from repro.obs import Recorder
+
+        kwargs["recorder_factory"] = Recorder
     run = _APPS[args.app](cluster, mix=args.mix, **kwargs)
     lines = [
         f"{args.app} on {args.nodes} node(s), {args.mix}:",
@@ -198,15 +285,47 @@ def cmd_run(args: argparse.Namespace) -> str:
             f"  faults         : seed={args.fault_seed} drops={s.drops} "
             f"dups={s.duplicates} delays={s.delays} crashes={s.crashes_consumed}"
         )
+    if args.trace_out is not None:
+        from repro.obs import write_chrome_trace
+
+        obj = write_chrome_trace(args.trace_out, run.spmd.traces, run.spmd.makespan)
+        lines.append(
+            f"  trace          : {args.trace_out} "
+            f"({len(obj['traceEvents'])} events; open in ui.perfetto.dev)"
+        )
     return "\n".join(lines)
+
+
+def cmd_profile(args: argparse.Namespace) -> str:
+    from repro.obs import profile_app, render_text_report, write_chrome_trace
+
+    apprun, report = profile_app(
+        args.app, nodes=args.nodes, mix=args.mix, scale=args.scale
+    )
+    report.verify()
+    extra = []
+    if args.trace_out is not None:
+        obj = write_chrome_trace(args.trace_out, apprun.spmd.traces, report.makespan)
+        extra.append(
+            f"trace written to {args.trace_out} "
+            f"({len(obj['traceEvents'])} events; open in ui.perfetto.dev)"
+        )
+    if args.format == "json":
+        import json
+
+        return json.dumps(report.to_dict(), indent=2)
+    head = f"{args.app} on {args.nodes} node(s), {args.mix} [{args.scale}]"
+    return "\n".join([head, "", render_text_report(report)] + extra)
 
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "info":
-        print(cmd_info())
+        print(cmd_info(args))
     elif args.command == "run":
         print(cmd_run(args))
+    elif args.command == "profile":
+        print(cmd_profile(args))
     elif args.command == "figure":
         print(_FIGURES[args.which](args.scale))
     elif args.command == "codesize":

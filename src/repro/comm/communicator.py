@@ -177,8 +177,20 @@ class SimComm:
         arrival = self.fabric.transmit(
             self.rank, dest, tag, payload, send_time=self.clock.now, charged=charged, link=link
         )
-        if self.trace is not None:
-            self.trace.record("comm", f"send->{dest}", start, arrival, tag=tag, nbytes=charged)
+        tr = self.trace
+        if tr is not None and tr.enabled:
+            # busy_end: where the sender's own clock stopped charging; the
+            # remainder of the span (up to arrival) is wire time, which the
+            # attribution sweep must not bill to this rank.
+            tr.record(
+                "comm",
+                f"send->{dest}",
+                start,
+                arrival,
+                {"tag": tag, "nbytes": charged, "dst": dest, "busy_end": self.clock.now},
+            )
+            tr.count("comm.msgs_sent")
+            tr.count("comm.bytes_sent", charged)
 
     def isend(
         self,
@@ -215,15 +227,25 @@ class SimComm:
         link = self.fabric.link(msg.src, self.rank)
         self.clock.advance_to(msg.arrival_time)
         self.clock.advance(link.recv_overhead)
-        if self.trace is not None:
-            self.trace.record(
+        tr = self.trace
+        if tr is not None and tr.enabled:
+            # arrival: lets the analysis split the span into wait (blocked
+            # on the wire) vs receive overhead, and anchors message edges
+            # for critical-path extraction.
+            tr.record(
                 "comm",
                 f"recv<-{msg.src}",
                 wait_start,
                 self.clock.now,
-                tag=msg.tag,
-                nbytes=msg.nbytes,
+                {
+                    "tag": msg.tag,
+                    "nbytes": msg.nbytes,
+                    "src": msg.src,
+                    "arrival": msg.arrival_time,
+                },
             )
+            tr.count("comm.msgs_recv")
+            tr.count("comm.bytes_recv", msg.nbytes)
         return msg.payload.deliver(out)
 
     def irecv(

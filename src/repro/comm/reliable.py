@@ -218,16 +218,16 @@ class ReliableComm:
             # virtual time instead of awaited on the wall clock.
             t0 = self.clock.now
             self.clock.advance(timeout)
-            if self.trace is not None:
-                self.trace.record(
+            tr = self.trace
+            if tr is not None and tr.enabled:
+                tr.record(
                     "fault",
                     f"retransmit->{dest}",
                     t0,
                     self.clock.now,
-                    tag=tag,
-                    seq=seq,
-                    attempt=attempt,
+                    {"tag": tag, "seq": seq, "attempt": attempt},
                 )
+                tr.count("comm.retransmits")
             self.retransmits += 1
             timeout *= self.backoff
         self._pending_acks.setdefault(dest, []).append((tag, seq))
@@ -273,6 +273,9 @@ class ReliableComm:
         # Ack eagerly (header-only, fault-exempt) so the sender's flush
         # can always complete once our receive has happened.
         self.base.send(None, source, _ack_tag(tag, seq), _internal=True)
+        tr = self.trace
+        if tr is not None and tr.enabled:
+            tr.count("comm.acks_sent")
         # Watch this seq for a late duplicate, then drain any duplicates
         # of recently accepted seqs that are already queued.
         watch = self._dup_watch.setdefault(key, [])
@@ -333,11 +336,13 @@ class ReliableComm:
             while fabric.probe(self.rank, source, dtag):
                 self.base.recv(source=source, tag=dtag, _internal=True)
                 self.duplicates_discarded += 1
-                if self.trace is not None:
+                tr = self.trace
+                if tr is not None and tr.enabled:
                     now = self.clock.now
-                    self.trace.record(
-                        "fault", f"dup-discard<-{source}", now, now, tag=tag, seq=s
+                    tr.record(
+                        "fault", f"dup-discard<-{source}", now, now, {"tag": tag, "seq": s}
                     )
+                    tr.count("comm.dup_discards")
 
     def _collect_acks(self, dest: int) -> None:
         """Blocking-collect every outstanding ack from ``dest``.

@@ -103,9 +103,16 @@ class CheckpointManager:
         ckpt = Checkpoint(iteration=iteration, state=state, nbytes=nbytes)
         self.last_checkpoint = ckpt
         self.checkpoints_taken += 1
-        self.ctx.trace.record(
-            FAULT_CATEGORY, "checkpoint", t0, clock.now, iteration=iteration, nbytes=nbytes
-        )
+        if self.ctx.trace.enabled:
+            self.ctx.trace.record(
+                FAULT_CATEGORY,
+                "checkpoint",
+                t0,
+                clock.now,
+                {"iteration": iteration, "nbytes": nbytes},
+            )
+            self.ctx.trace.count("ckpt.snapshots")
+            self.ctx.trace.count("ckpt.bytes", nbytes)
         return ckpt
 
     def _poll_crash(self) -> tuple[bool, Any, float]:
@@ -137,22 +144,24 @@ class CheckpointManager:
             # This rank is the one that failed: consume the one-shot crash
             # and mark the failure itself in the trace.
             self.plan.consume_crash(crash)
-            ctx.trace.record(
-                FAULT_CATEGORY, "crash", crash.at_time, t0, rank=ctx.rank
-            )
+            if ctx.trace.enabled:
+                ctx.trace.record(
+                    FAULT_CATEGORY, "crash", crash.at_time, t0, {"rank": ctx.rank}
+                )
         restore(ckpt.state)
         # Recovery accounting: the coordinated restart stall plus
         # re-reading the snapshot, visible in the virtual makespan.
         clock.advance(restart_cost + ckpt.nbytes / self.write_bandwidth)
         self.recoveries += 1
-        ctx.trace.record(
-            FAULT_CATEGORY,
-            "recovery",
-            t0,
-            clock.now,
-            resume_iteration=ckpt.iteration,
-            restart_cost=restart_cost,
-        )
+        if ctx.trace.enabled:
+            ctx.trace.record(
+                FAULT_CATEGORY,
+                "recovery",
+                t0,
+                clock.now,
+                {"resume_iteration": ckpt.iteration, "restart_cost": restart_cost},
+            )
+            ctx.trace.count("ckpt.recoveries")
         # Re-synchronize before anyone resumes computing.
         self.comm.barrier()
         return ckpt.iteration

@@ -241,7 +241,17 @@ class GeneralizedReductionRuntime:
                 merge_ready += env.host_memcpy_time(obj_bytes)
         clock.advance_to(merge_ready)
         self._local_result = merged
-        env.trace.record("compute", f"GR:{kernel.work.name}", t0, clock.now, elems=n_local)
+        if env.trace.enabled:
+            env.trace.record(
+                "compute", f"GR:{kernel.work.name}", t0, clock.now, {"elems": n_local}
+            )
+            # Dynamic-scheduling outcome: chunks and elements per device,
+            # plus this run's load imbalance, for the cluster-wide report.
+            for w in report.workers:
+                env.trace.count(f"gr.chunks[{w.device.name}]", w.chunks)
+                env.trace.count(f"gr.elems[{w.device.name}]", w.elems)
+            env.trace.count("gr.inserts", float(sum(o.n_inserts for o in objs.values())))
+            env.trace.gauge("gr.load_imbalance", report.load_imbalance())
 
     # -- results -----------------------------------------------------------
     def get_local_reduction(self) -> DenseReductionObject:

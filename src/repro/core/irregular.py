@@ -395,7 +395,10 @@ class IrregularReductionRuntime:
         # Load-time cost: each process inspects the full edge list to pick
         # its own (paper §III-B "inspects all the input edges").
         inspect = self._n_global_edges * self._edge_scale * 2 * 8  # two int64 reads/edge
+        t0 = self.env.clock.now
         self.env.clock.advance(inspect / self.env.ctx.node.cpu.mem_bandwidth)
+        if self.env.trace.enabled:
+            self.env.trace.record("compute", "IR:inspect", t0, self.env.clock.now)
 
     # -- remote-node ID exchange (steps 1-4) -------------------------------
     def _exchange_ids(self) -> None:
@@ -558,6 +561,7 @@ class IrregularReductionRuntime:
         self._edge_cache = cache
         self._multi = _MultiDeviceScatter(combined, [part.obj for part in cache], drops)
         self._cache_builds += 1
+        self.env.trace.count("ir.cache_builds")
         self._result = np.empty((n_local, kernel.value_width), dtype=kernel.dtype)
 
     # -- one time step --------------------------------------------------------
@@ -626,17 +630,18 @@ class IrregularReductionRuntime:
         # Record the SIII-E shared-memory partition counts (each partition
         # of the reduction space fits one SM's scratchpad).
         elem_bytes = kernel.value_width * kernel.dtype.itemsize
-        for d, dev in enumerate(env.devices):
-            if isinstance(dev, GPUDevice):
-                lo, hi = new_ranges[d]
-                n_dev_nodes = max(1, int((hi - lo) * self._node_scale))
-                env.trace.record(
-                    "partition",
-                    f"IR:shared-parts:{dev.name}",
-                    clock.now,
-                    clock.now,
-                    num_parts=shared_memory_partitions(n_dev_nodes, elem_bytes, dev.spec),
-                )
+        if env.trace.enabled:
+            for d, dev in enumerate(env.devices):
+                if isinstance(dev, GPUDevice):
+                    lo, hi = new_ranges[d]
+                    n_dev_nodes = max(1, int((hi - lo) * self._node_scale))
+                    env.trace.record(
+                        "partition",
+                        f"IR:shared-parts:{dev.name}",
+                        clock.now,
+                        clock.now,
+                        {"num_parts": shared_memory_partitions(n_dev_nodes, elem_bytes, dev.spec)},
+                    )
 
         device_busy = {d.name: 0.0 for d in env.devices}
 
@@ -668,9 +673,10 @@ class IrregularReductionRuntime:
                 iv = tl.schedule(max(upload_done[dev.name], ready_floor), dur, f"IR.{phase}")
                 device_busy[dev.name] += dur
                 finish = max(finish, iv.end)
-                env.trace.record(
-                    "compute", f"IR:{phase}:{dev.name}", iv.start, iv.end, edges=n_d
-                )
+                if env.trace.enabled:
+                    env.trace.record(
+                        "compute", f"IR:{phase}:{dev.name}", iv.start, iv.end, {"edges": n_d}
+                    )
             return finish
 
         if self.overlap and recv_reqs:
@@ -715,7 +721,15 @@ class IrregularReductionRuntime:
             np.copyto(self._result, self._multi.combined.values[:n_local])
         self._have_result = True
         self._timestep += 1
-        env.trace.record("compute", "IR:step", t0, clock.now, step=self._timestep)
+        if env.trace.enabled:
+            env.trace.record("compute", "IR:step", t0, clock.now, {"step": self._timestep})
+            # Per-step atomic-insert accounting: how many edge contributions
+            # landed in (or fell outside) each device's reduction segment.
+            for d, dev in enumerate(env.devices):
+                part = cache[d]
+                env.trace.count(f"ir.edges[{dev.name}]", part.n_local + part.n_cross)
+            env.trace.count("ir.inserts", float(sum(o.n_inserts for o in self._multi.objs)))
+            env.trace.count("ir.dropped", float(sum(o.n_dropped for o in self._multi.objs)))
 
     # -- results / updates -----------------------------------------------------
     @property
@@ -761,7 +775,10 @@ class IrregularReductionRuntime:
                 f"got {new_local_nodes.shape}"
             )
         self._nodes[: self._arr.n_local] = new_local_nodes
+        t0 = self.env.clock.now
         self.env.clock.advance(self.env.host_memcpy_time(new_local_nodes.nbytes * self._node_scale))
+        if self.env.trace.enabled:
+            self.env.trace.record("compute", "IR:update", t0, self.env.clock.now)
         self._data_dirty = True
 
     def _check_configured(self) -> None:

@@ -541,7 +541,8 @@ class StencilRuntime:
                 iv = dev.timelines()[0].schedule(ready, dur, f"stencil.{phase}")
                 busy[d] += dur
                 finish = max(finish, iv.end)
-            env.trace.record("compute", f"ST:{phase}:{dev.name}", ready, finish)
+            if env.trace.enabled:
+                env.trace.record("compute", f"ST:{phase}:{dev.name}", iv.start, iv.end)
         return finish, busy
 
     # -- one iteration -----------------------------------------------------------------
@@ -598,7 +599,8 @@ class StencilRuntime:
 
         self._src, self._dst = self._dst, self._src
         self._timestep += 1
-        env.trace.record("compute", "ST:step", t0, clock.now, step=self._timestep)
+        if env.trace.enabled:
+            env.trace.record("compute", "ST:step", t0, clock.now, {"step": self._timestep})
 
     def run(self, iterations: int) -> None:
         """Run ``iterations`` stencil steps (paper: the time-step loop)."""

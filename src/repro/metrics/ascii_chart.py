@@ -90,6 +90,39 @@ def render_chart(
     return "\n".join(lines)
 
 
+def render_bars(
+    items: list[tuple[str, float]],
+    *,
+    width: int = 40,
+    max_value: float | None = None,
+    fmt: str = "{:6.1%}",
+    title: str = "",
+) -> str:
+    """Render labeled values as horizontal ASCII bars (e.g. utilization).
+
+    ``max_value`` sets the full-bar scale (default: the largest value, or
+    1.0 if everything is zero).  Values are clamped into [0, max_value].
+
+    >>> print(render_bars([("gpu0", 0.75), ("cpu0", 0.5)], width=8, max_value=1.0))
+    gpu0  75.0% |######  |
+    cpu0  50.0% |####    |
+    """
+    if not items:
+        raise ValidationError("render_bars needs at least one item")
+    if width < 4:
+        raise ValidationError("bars too narrow to be legible")
+    scale = max_value if max_value is not None else (max(v for _, v in items) or 1.0)
+    if scale <= 0:
+        raise ValidationError(f"max_value must be > 0, got {scale}")
+    label_w = max(len(name) for name, _ in items)
+    lines = [title] if title else []
+    for name, value in items:
+        filled = int(round(min(max(value, 0.0), scale) / scale * width))
+        bar = "#" * filled + " " * (width - filled)
+        lines.append(f"{name.ljust(label_w)} {fmt.format(value).strip():>6} |{bar}|")
+    return "\n".join(lines)
+
+
 def fig5_chart(rows: list[dict], app: str, *, width: int = 64, height: int = 16) -> str:
     """Fig. 5 sub-plot for one app: speedup-vs-nodes per device mix."""
     series: dict[str, list[tuple[float, float]]] = {}

@@ -1,0 +1,58 @@
+"""repro.obs — the observability subsystem.
+
+Spans and counters (recorded through :class:`~repro.sim.trace.Trace` /
+:class:`Recorder`), full-run timeline capture, post-run analysis
+(utilization, phase attribution, critical path), and exporters
+(Chrome-trace/Perfetto JSON, plain text, machine JSON).  See the
+"Observability" section of ``docs/architecture.md``.
+
+Typical use::
+
+    from repro.obs import Recorder, analyze
+    result = spmd_run(prog, cluster, recorder_factory=Recorder)
+    report = analyze(result)
+    report.verify()                      # reconciliation + contiguity
+    print(render_text_report(report))
+"""
+
+from repro.obs.analysis import (
+    PathLink,
+    PhaseBreakdown,
+    RunReport,
+    TimelineStats,
+    aggregate_counters,
+    analyze,
+    attribute_phases,
+    critical_path,
+    match_messages,
+    timeline_stats,
+)
+from repro.obs.export import (
+    export_chrome_trace,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
+from repro.obs.profile import PROFILE_APPS, profile_app
+from repro.obs.recorder import IntervalRecord, Recorder
+from repro.obs.report import render_text_report
+
+__all__ = [
+    "IntervalRecord",
+    "PathLink",
+    "PhaseBreakdown",
+    "PROFILE_APPS",
+    "Recorder",
+    "RunReport",
+    "TimelineStats",
+    "aggregate_counters",
+    "analyze",
+    "attribute_phases",
+    "critical_path",
+    "export_chrome_trace",
+    "match_messages",
+    "profile_app",
+    "render_text_report",
+    "timeline_stats",
+    "validate_chrome_trace",
+    "write_chrome_trace",
+]

@@ -1,0 +1,87 @@
+"""The ``repro profile`` driver: run an app under observation, analyze it.
+
+Runs one of the five paper applications with per-rank
+:class:`~repro.obs.recorder.Recorder` instances installed (spans, counters
+and full-run timeline histories), then produces the
+:class:`~repro.obs.analysis.RunReport` the CLI renders or exports.
+
+The report's ``makespan`` is the *simulated* makespan (the slowest rank's
+final virtual clock) — that is what phase attribution, utilization and the
+critical path reconcile against.  Apps that extrapolate a few simulated
+steps to the paper's full iteration count report that larger number as
+``app_makespan`` alongside.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.apps import heat3d, kmeans, minimd, moldyn, sobel
+from repro.apps.common import AppRun
+from repro.cluster.presets import ohio_cluster
+from repro.cluster.specs import ClusterSpec
+from repro.obs.analysis import RunReport, analyze
+from repro.obs.recorder import Recorder
+from repro.util.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class _ProfiledApp:
+    run: Callable[..., AppRun]
+    quick_config: Callable[[], Any]
+
+
+#: Quick-scale configs mirror the smoke benchmark sizes: every path is
+#: exercised (multi-step, multi-device, adaptive repartition) but the
+#: functional payloads stay small enough for CI.
+PROFILE_APPS: dict[str, _ProfiledApp] = {
+    "kmeans": _ProfiledApp(
+        kmeans.run,
+        lambda: kmeans.KmeansConfig(functional_points=60_000, iterations=1),
+    ),
+    "moldyn": _ProfiledApp(
+        moldyn.run,
+        lambda: moldyn.MoldynConfig(functional_nodes=4_000, simulated_steps=3),
+    ),
+    "minimd": _ProfiledApp(
+        minimd.run,
+        lambda: minimd.MiniMDConfig(functional_cells=8, simulated_steps=3),
+    ),
+    "sobel": _ProfiledApp(
+        sobel.run,
+        lambda: sobel.SobelConfig(functional_shape=(384, 384), simulated_steps=3),
+    ),
+    "heat3d": _ProfiledApp(
+        heat3d.run,
+        lambda: heat3d.Heat3DConfig(functional_shape=(36, 36, 36), simulated_steps=3),
+    ),
+}
+
+
+def profile_app(
+    app: str,
+    *,
+    cluster: ClusterSpec | None = None,
+    nodes: int = 4,
+    mix: str = "cpu+2gpu",
+    scale: str = "quick",
+    **run_kwargs: Any,
+) -> tuple[AppRun, RunReport]:
+    """Run ``app`` with observability on; return (app result, report)."""
+    try:
+        entry = PROFILE_APPS[app]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown app {app!r}; known: {sorted(PROFILE_APPS)}"
+        ) from None
+    if scale not in ("quick", "full"):
+        raise ConfigurationError(f"scale must be 'quick' or 'full', got {scale!r}")
+    if cluster is None:
+        cluster = ohio_cluster(nodes)
+    config = entry.quick_config() if scale == "quick" else None
+    apprun = entry.run(
+        cluster, config, mix, recorder_factory=Recorder, **run_kwargs
+    )
+    report = analyze(apprun.spmd, app_makespan=apprun.makespan)
+    return apprun, report

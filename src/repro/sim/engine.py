@@ -88,6 +88,7 @@ def spmd_run(
     args: tuple = (),
     kwargs: dict | None = None,
     trace: bool = False,
+    recorder_factory: Callable[[int], Trace] | None = None,
     device_factory: DeviceFactory | None = None,
     recv_timeout: float = 120.0,
     wall_timeout: float = 600.0,
@@ -103,6 +104,10 @@ def spmd_run(
             paper's hand-written MPI baselines use one rank per core.
         args, kwargs: Extra arguments forwarded to every rank.
         trace: Enable per-rank event tracing (small overhead).
+        recorder_factory: Optional callable ``rank -> Trace`` building the
+            per-rank trace objects; used by :mod:`repro.obs` to install
+            :class:`~repro.obs.Recorder` instances (which also capture
+            device/NIC timeline intervals).  Overrides ``trace``.
         device_factory: Optional callable building the rank's device list
             (used by :class:`repro.core.env.RuntimeEnv`); it runs inside the
             rank thread after clock/comm are wired.
@@ -136,7 +141,13 @@ def spmd_run(
         fabric.install_faults(fault_plan)
     values: list[Any] = [None] * nranks
     times: list[float] = [0.0] * nranks
-    traces: list[Trace] = [Trace(r, enabled=trace) for r in range(nranks)]
+    if recorder_factory is not None:
+        traces: list[Trace] = [recorder_factory(r) for r in range(nranks)]
+    else:
+        traces = [Trace(r, enabled=trace) for r in range(nranks)]
+    for tr in traces:
+        # No-op on plain Traces; obs Recorders attach NIC timeline sinks.
+        tr.bind_fabric(fabric)
     failures: list[_RankFailure] = []
     failure_lock = threading.Lock()
 

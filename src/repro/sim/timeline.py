@@ -33,15 +33,28 @@ class Interval:
 
 
 class Timeline:
-    """Append-only schedule of busy intervals on one resource."""
+    """Append-only schedule of busy intervals on one resource.
 
-    __slots__ = ("name", "_available_at", "_intervals", "_busy")
+    When observability is enabled an external *sink* can be attached with
+    :meth:`observe`; every scheduled interval is then also reported to the
+    sink, which lets :mod:`repro.obs` keep a full-run interval history even
+    though devices :meth:`reset` their timelines every step.  The sink never
+    influences scheduling, so virtual time is bit-identical with or without
+    one; when no sink is attached the only cost is one ``is None`` check.
+    """
+
+    __slots__ = ("name", "_available_at", "_intervals", "_busy", "_sink")
 
     def __init__(self, name: str, start: float = 0.0) -> None:
         self.name = name
         self._available_at = float(start)
         self._intervals: list[Interval] = []
         self._busy = 0.0
+        self._sink = None
+
+    def observe(self, sink) -> None:
+        """Attach ``sink(name, start, end, label)``, called per interval."""
+        self._sink = sink
 
     @property
     def available_at(self) -> float:
@@ -79,6 +92,8 @@ class Timeline:
         self._intervals.append(interval)
         self._available_at = interval.end
         self._busy += duration
+        if self._sink is not None:
+            self._sink(self.name, start, interval.end, label)
         return interval
 
     def reset(self, start: float = 0.0) -> None:

@@ -1,4 +1,4 @@
-"""Event tracing for behavioural verification.
+"""Event tracing: the substrate of the observability layer.
 
 Runtimes record *what happened when* (in virtual time) into a
 :class:`Trace`: compute spans, communication spans, transfers, combines.
@@ -6,6 +6,20 @@ Tests use traces to assert structural properties the paper claims — e.g.
 that with overlapped execution the local-edge compute span genuinely
 overlaps the node-data exchange span, or that a tree combine has
 ``ceil(log2 n)`` rounds — rather than only checking final timings.
+
+:mod:`repro.obs` builds on this class: :class:`repro.obs.Recorder`
+subclasses :class:`Trace` and additionally captures per-:class:`Timeline`
+busy intervals (surviving the per-step resets devices perform), which the
+analysis layer turns into utilization, phase attribution and critical-path
+reports.  The hooks :meth:`Trace.bind_fabric` / :meth:`Trace.bind_device`
+are no-ops here so the simulation layers stay ignorant of ``repro.obs``.
+
+Recording must never perturb virtual time — makespans are bit-identical
+with tracing on or off — and the *disabled* path must be allocation-free:
+``record`` takes its metadata as an optional positional dict (never
+``**kwargs``, which would allocate a dict per call before the ``enabled``
+check runs), and hot call sites check ``trace.enabled`` before building
+labels or metadata.
 """
 
 from __future__ import annotations
@@ -34,20 +48,27 @@ class TraceEvent:
         return self.end - self.start
 
 
+#: Shared empty metadata dict for events recorded without any; saves one
+#: dict allocation per meta-less event.  Treated as immutable by contract.
+_NO_META: dict[str, Any] = {}
+
+
 def overlap_seconds(a: TraceEvent, b: TraceEvent) -> float:
     """Length of the temporal intersection of two events (0 if disjoint)."""
     return max(0.0, min(a.end, b.end) - max(a.start, b.start))
 
 
 class Trace:
-    """A per-rank collection of :class:`TraceEvent`, cheap when disabled."""
+    """A per-rank collection of :class:`TraceEvent`, free when disabled."""
 
-    __slots__ = ("rank", "enabled", "_events")
+    __slots__ = ("rank", "enabled", "_events", "_counters", "_gauges")
 
     def __init__(self, rank: int, enabled: bool = True) -> None:
         self.rank = rank
         self.enabled = enabled
         self._events: list[TraceEvent] = []
+        self._counters: dict[str, float] = {}
+        self._gauges: dict[str, float] = {}
 
     def record(
         self,
@@ -55,9 +76,15 @@ class Trace:
         label: str,
         start: float,
         end: float,
-        **meta: Any,
+        meta: dict[str, Any] | None = None,
     ) -> None:
-        """Record a span; no-op when the trace is disabled."""
+        """Record a span; no-op when the trace is disabled.
+
+        ``meta`` is an optional plain dict, deliberately *not* ``**kwargs``:
+        a ``**``-signature would force CPython to allocate a keyword dict on
+        every call, even when ``enabled`` is False.  Callers that attach
+        metadata should build the dict behind their own ``enabled`` check.
+        """
         if not self.enabled:
             return
         self._events.append(
@@ -67,10 +94,47 @@ class Trace:
                 label=label,
                 start=float(start),
                 end=float(end),
-                meta=meta,
+                meta=_NO_META if meta is None else meta,
             )
         )
 
+    # ------------------------------------------------------------------
+    # Counters / gauges
+    # ------------------------------------------------------------------
+    def count(self, name: str, value: float = 1.0) -> None:
+        """Accumulate ``value`` onto counter ``name`` (no-op if disabled)."""
+        if not self.enabled:
+            return
+        self._counters[name] = self._counters.get(name, 0.0) + value
+
+    def gauge(self, name: str, value: float) -> None:
+        """Set gauge ``name`` to its latest ``value`` (no-op if disabled)."""
+        if not self.enabled:
+            return
+        self._gauges[name] = float(value)
+
+    @property
+    def counters(self) -> dict[str, float]:
+        """Accumulated counters (name -> total), per rank."""
+        return dict(self._counters)
+
+    @property
+    def gauges(self) -> dict[str, float]:
+        """Latest gauge values (name -> value), per rank."""
+        return dict(self._gauges)
+
+    # ------------------------------------------------------------------
+    # Observability hooks (overridden by repro.obs.Recorder)
+    # ------------------------------------------------------------------
+    def bind_fabric(self, fabric: Any) -> None:
+        """Hook: called once per rank before the rank program starts."""
+
+    def bind_device(self, device: Any) -> None:
+        """Hook: called for each device built for this rank."""
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
     @property
     def events(self) -> tuple[TraceEvent, ...]:
         return tuple(self._events)
@@ -100,6 +164,13 @@ class Trace:
     def total(self, category: str) -> float:
         """Sum of durations of all events in ``category``."""
         return sum(ev.duration for ev in self._events if ev.category == category)
+
+    def by_category(self) -> dict[str, float]:
+        """Summed durations keyed by category (insertion-ordered)."""
+        out: dict[str, float] = {}
+        for ev in self._events:
+            out[ev.category] = out.get(ev.category, 0.0) + (ev.end - ev.start)
+        return out
 
     def __iter__(self) -> Iterator[TraceEvent]:
         return iter(self._events)

@@ -77,6 +77,9 @@ def test_stencil_records_phases():
     assert tr.filter(category="compute", label_prefix="ST:inner")
     assert tr.filter(category="compute", label_prefix="ST:boundary")
     assert tr.filter(category="compute", label_prefix="ST:step")
+    by_cat = tr.by_category()
+    assert by_cat["compute"] == tr.total("compute") > 0
+    assert set(by_cat) == {ev.category for ev in tr.events}
 
 
 def test_gr_compute_span_recorded():
@@ -86,6 +89,7 @@ def test_gr_compute_span_recorded():
     res = spmd_run(kmeans.rank_program, ohio_cluster(1), args=(cfg, "cpu"), trace=True)
     spans = res.traces[0].filter(category="compute", label_prefix="GR:")
     assert spans and spans[0].duration > 0
+    assert res.traces[0].total("compute") >= spans[0].duration
 
 
 def test_ir_records_shared_memory_partition_counts():

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.metrics.ascii_chart import fig5_chart, render_chart
+from repro.metrics.ascii_chart import fig5_chart, render_bars, render_chart
 from repro.util.errors import ValidationError
 
 
@@ -48,6 +48,45 @@ def test_validation():
 def test_linear_axes():
     text = render_chart({"s": [(0, 0), (10, 5)]}, logx=False, logy=False)
     assert "o" in text
+
+
+def test_render_bars_basic():
+    text = render_bars(
+        [("gpu0.compute", 0.75), ("cpu0.core0", 0.5)],
+        width=8,
+        max_value=1.0,
+        title="T",
+    )
+    lines = text.splitlines()
+    assert lines[0] == "T"
+    assert lines[1] == "gpu0.compute  75.0% |######  |"
+    assert lines[2] == "cpu0.core0    50.0% |####    |"
+
+
+def test_render_bars_autoscale_and_clamping():
+    # Without max_value the largest value spans the full width.
+    text = render_bars([("a", 2.0), ("b", 1.0)], width=10, fmt="{:.1f}")
+    lines = text.splitlines()
+    assert "|##########|" in lines[0]
+    assert "|#####     |" in lines[1]
+    # Values outside [0, max] clamp rather than overflow the bar.
+    text = render_bars([("a", 5.0), ("b", -1.0)], width=4, max_value=1.0, fmt="{:.0f}")
+    assert "|####|" in text.splitlines()[0]
+    assert "|    |" in text.splitlines()[1]
+
+
+def test_render_bars_all_zero_values():
+    text = render_bars([("a", 0.0)], width=6)
+    assert "|      |" in text
+
+
+def test_render_bars_validation():
+    with pytest.raises(ValidationError):
+        render_bars([])
+    with pytest.raises(ValidationError):
+        render_bars([("a", 1.0)], width=2)
+    with pytest.raises(ValidationError):
+        render_bars([("a", 1.0)], max_value=0.0)
 
 
 def test_fig5_chart_from_rows():

@@ -41,6 +41,57 @@ def test_figure_fig6(capsys):
     assert "mpi_loc" in capsys.readouterr().out
 
 
+def test_info_devices(capsys):
+    assert main(["info", "--devices"]) == 0
+    out = capsys.readouterr().out
+    assert "roofline" in out
+    assert "kernel launch" in out
+    assert "Timeline inventory" in out
+    assert "gpu0.copy" in out and "nic{rank}.egress" in out
+
+
+def test_profile_text(capsys):
+    assert main(["profile", "kmeans", "--nodes", "2", "--scale", "quick"]) == 0
+    out = capsys.readouterr().out
+    assert "Phase attribution" in out
+    assert "Critical path" in out
+    assert "kmeans on 2 node(s)" in out
+
+
+def test_profile_json(capsys):
+    import json
+
+    assert main(["profile", "sobel", "--nodes", "2", "--format", "json"]) == 0
+    report = json.loads(capsys.readouterr().out)
+    assert report["nranks"] == 2
+    assert report["phases"] and report["critical_path"]
+
+
+def test_profile_trace_out(capsys, tmp_path):
+    import json
+
+    path = tmp_path / "trace.json"
+    assert main(["profile", "heat3d", "--nodes", "2", "--trace-out", str(path)]) == 0
+    assert "trace written to" in capsys.readouterr().out
+    from repro.obs import validate_chrome_trace
+
+    validate_chrome_trace(json.loads(path.read_text()))
+
+
+def test_run_trace_out(capsys, tmp_path):
+    import json
+
+    path = tmp_path / "run.json"
+    assert main(
+        ["run", "heat3d", "--nodes", "2", "--mix", "cpu", "--trace-out", str(path)]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "speedup" in out and "trace" in out
+    from repro.obs import validate_chrome_trace
+
+    validate_chrome_trace(json.loads(path.read_text()))
+
+
 def test_parser_rejects_unknown():
     parser = build_parser()
     with pytest.raises(SystemExit):

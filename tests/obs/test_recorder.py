@@ -1,0 +1,89 @@
+"""Recorder: span + counter capture and full-run timeline histories."""
+
+import pytest
+
+from repro.obs.recorder import IntervalRecord, Recorder
+from repro.sim.timeline import Timeline
+
+
+def test_recorder_is_a_trace():
+    rec = Recorder(0)
+    rec.record("compute", "k", 0.0, 1.0, {"elems": 4})
+    rec.count("n", 2.0)
+    assert rec.enabled
+    assert len(rec) == 1
+    assert rec.counters == {"n": 2.0}
+
+
+def test_recorder_captures_timeline_intervals():
+    rec = Recorder(0)
+    tl = Timeline("gpu0.compute")
+    rec._attach(tl)
+    tl.schedule(0.0, 1.0, "k[0]")
+    tl.schedule(2.0, 0.5, "k[1]")
+    assert rec.timeline_names == ("gpu0.compute",)
+    ivs = rec.intervals
+    assert [iv.timeline for iv in ivs] == ["gpu0.compute", "gpu0.compute"]
+    assert ivs[0].label == "k[0]"
+    assert ivs[1].start == 2.0 and ivs[1].end == 2.5
+    assert ivs[1].duration == pytest.approx(0.5)
+
+
+def test_intervals_survive_timeline_reset():
+    # Devices reset their engines every step; the recorded history must not
+    # be lost with them.
+    rec = Recorder(0)
+    tl = Timeline("cpu0.core0")
+    rec._attach(tl)
+    tl.schedule(0.0, 1.0, "a")
+    tl.reset(start=5.0)
+    tl.schedule(5.0, 1.0, "b")
+    assert [iv.label for iv in rec.intervals] == ["a", "b"]
+    assert rec.intervals_by_timeline() == {
+        "cpu0.core0": [
+            IntervalRecord("cpu0.core0", 0.0, 1.0, "a"),
+            IntervalRecord("cpu0.core0", 5.0, 6.0, "b"),
+        ]
+    }
+
+
+def test_bind_device_attaches_all_engines():
+    from repro.cluster.presets import laptop_cluster
+    from repro.device.gpu import GPUDevice
+
+    node = laptop_cluster(num_nodes=1, gpus_per_node=1).node
+    dev = GPUDevice(node.gpus[0], 0)
+    rec = Recorder(0)
+    rec.bind_device(dev)
+    assert set(rec.timeline_names) == {"gpu0.copy", "gpu0.compute"}
+
+
+def test_plain_trace_bind_hooks_are_noops():
+    from repro.sim.trace import Trace
+
+    tr = Trace(0)
+    tr.bind_device(object())
+    tr.bind_fabric(object())
+    assert len(tr) == 0
+
+
+def test_spmd_run_with_recorder_factory_attaches_nics():
+    from repro.cluster.presets import laptop_cluster
+    from repro.sim.engine import spmd_run
+
+    def prog(ctx):
+        if ctx.rank == 0:
+            ctx.comm.send(b"x" * 1024, dest=1, tag=7)
+        else:
+            ctx.comm.recv(source=0, tag=7)
+
+    res = spmd_run(prog, laptop_cluster(num_nodes=2), recorder_factory=Recorder)
+    r0, r1 = res.traces
+    assert isinstance(r0, Recorder)
+    assert "nic0.egress" in r0.timeline_names
+    assert "nic1.ingress" in r1.timeline_names
+    assert any(iv.timeline == "nic0.egress" for iv in r0.intervals)
+    assert any(iv.timeline == "nic1.ingress" for iv in r1.intervals)
+    # The spans themselves recorded too.
+    assert r0.filter(category="comm", label_prefix="send->1")
+    assert r0.counters["comm.bytes_sent"] == 1024.0
