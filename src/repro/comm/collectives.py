@@ -21,6 +21,7 @@ that combine values (reduce, scan) materialize new arrays.
 
 from __future__ import annotations
 
+from functools import lru_cache
 from typing import TYPE_CHECKING, Any
 
 from repro.comm.constants import COLLECTIVE_TAG_BASE
@@ -60,14 +61,18 @@ def collective_tag(seq: int, op_id: int, round_: int = 0) -> int:
     )
 
 
-def _children(relative: int, size: int) -> list[int]:
+@lru_cache(maxsize=4096)
+def _children(relative: int, size: int) -> tuple[int, ...]:
     """Binomial-tree children of ``relative`` (relative rank space).
 
     The parent of node ``r`` (r > 0) is ``r`` with its lowest set bit
     cleared; children of ``r`` are ``r + 2^k`` for every ``2^k`` below the
     lowest set bit (or below the tree span, for the root), bounded by
     ``size``.  Returned largest-offset first, which is the order that
-    minimizes tree depth on the critical path.
+    minimizes tree depth on the critical path.  Cached (and therefore
+    returned as an immutable tuple): every bcast/reduce/gather of a run
+    recomputes the same few (relative, size) shapes, and figure sweeps
+    call collectives millions of times.
     """
     if relative == 0:
         span = 1
@@ -82,7 +87,7 @@ def _children(relative: int, size: int) -> list[int]:
         if child < size:
             kids.append(child)
         offset >>= 1
-    return kids
+    return tuple(kids)
 
 
 def _parent(relative: int) -> int:

@@ -94,7 +94,18 @@ class RecvRequest(Request):
 
 
 class SimComm:
-    """MPI-like communicator bound to one rank's virtual clock."""
+    """MPI-like communicator bound to one rank's virtual clock.
+
+    Point-to-point calls go through the sharded
+    :class:`~repro.comm.fabric.Fabric`: a send touches only the sender's
+    and receiver's shards (never a global lock), a specific-source receive
+    matches in O(1) against the per-(source, tag) FIFO index, and a
+    blocked receive registers its (source, tag) predicate so senders wake
+    it only for messages that can match.  Slotted: one communicator is
+    constructed per rank per run, and figure sweeps construct millions.
+    """
+
+    __slots__ = ("fabric", "rank", "clock", "trace", "recv_timeout", "_coll_seq")
 
     def __init__(
         self,

@@ -1,20 +1,33 @@
-"""The shared in-process message fabric.
+"""The shared in-process message fabric (sharded per destination rank).
 
 One :class:`Fabric` is shared by all rank threads of an SPMD run.  It owns
-the mailboxes (one ordered queue per destination rank), performs tag/source
-matching with per-(source, tag) FIFO ordering, and knows which
+the mailboxes (one indexed mailbox per destination rank), performs
+tag/source matching with per-(source, tag) FIFO ordering, and knows which
 :class:`~repro.cluster.specs.InterconnectSpec` connects any two ranks
 (intra-node vs. network) given the rank→node mapping.
 
-Thread-safety: a single lock guards all queues; each destination rank has a
-condition variable so a blocked receiver wakes only for its own mail (or an
-abort).  Specific-source matching happens in *post order*, which yields
-MPI's non-overtaking guarantee between any (source, tag) pair; wildcard
-(``ANY_SOURCE``) receives pick the per-source FIFO head with the minimum
-``(arrival_time, src)``, so matching among the queued candidates depends
-only on virtual time, never on which sender's thread won the wall-clock
-race to post (programs that need *full* wildcard determinism must also
-ensure the candidates are all posted, e.g. fan-in after a barrier).
+Thread-safety: fabric state is *sharded per rank* — each rank owns a
+mailbox lock + condition variable plus its two NIC timelines.  Egress
+scheduling happens under the **sender's** shard lock and mailbox
+enqueue/match under the **receiver's**, so sends between disjoint rank
+pairs never contend on a common lock (the previous design funnelled every
+message through one global lock, which serialized the whole simulator at
+many-rank scale).  Wakeups are *targeted*: a blocked receiver registers
+its wait predicate (source, tag) on its shard, and a sender notifies only
+when the newly enqueued message can actually match it — fan-in patterns
+(collectives, ack collection) no longer thundering-herd every arrival.
+
+Matching is indexed: each mailbox keeps one FIFO deque per (source, tag)
+pair, so a specific-source ``match()``/``probe()`` is O(1) and a wildcard
+(``ANY_SOURCE``) match is O(#active (source, tag) pairs) instead of
+O(queue length).  Specific-source matching consumes each (source, tag)
+deque in *post order*, which yields MPI's non-overtaking guarantee
+between any (source, tag) pair; wildcard receives pick the per-source
+FIFO head with the minimum ``(arrival_time, src)``, so matching among the
+queued candidates depends only on virtual time, never on which sender's
+thread won the wall-clock race to post (programs that need *full*
+wildcard determinism must also ensure the candidates are all posted,
+e.g. fan-in after a barrier).
 
 Fault injection: an installed :class:`~repro.faults.plan.FaultPlan` is
 consulted by :meth:`Fabric.transmit` for every message — dropped messages
@@ -26,8 +39,8 @@ bypasses the plan.
 
 from __future__ import annotations
 
-import itertools
 import threading
+from collections import deque
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
@@ -41,7 +54,7 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.faults.plan import FaultPlan
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Message:
     """One message in flight (or delivered)."""
 
@@ -59,6 +72,49 @@ class Message:
         return self.payload.nbytes
 
 
+class _Shard:
+    """Per-rank fabric state: mailbox + NIC timelines + wait predicate.
+
+    The mailbox is a dict of per-(source, tag) FIFO deques.  Every path
+    that consumes a message pops the head of exactly one deque, so no
+    tombstones or lazy deletion are needed; a deque emptied by its last
+    pop has its key removed to keep wildcard scans proportional to the
+    number of *active* (source, tag) pairs.
+    """
+
+    __slots__ = (
+        "lock",
+        "cv",
+        "queues",
+        "pending",
+        "seq",
+        "waiting_src",
+        "waiting_tag",
+        "egress",
+        "ingress",
+    )
+
+    def __init__(self, rank: int) -> None:
+        self.lock = threading.Lock()
+        self.cv = threading.Condition(self.lock)
+        self.queues: dict[tuple[int, int], deque[Message]] = {}
+        self.pending = 0
+        # Mailbox post order; assigned under this shard's lock, so it is a
+        # total order over everything enqueued for this rank.
+        self.seq = 0
+        # Wait predicate of the (single) blocked receiver, if any.  Only
+        # rank ``rank``'s own thread ever waits on this shard's cv.
+        self.waiting_src: int | None = None
+        self.waiting_tag: int | None = None
+        # Per-rank NIC occupancy: a rank injects (egress) and absorbs
+        # (ingress) at most one message's bytes at a time, so fan-in/out
+        # traffic serializes at the endpoints (LogGP's per-byte gap G).
+        # Egress is touched only under this shard's lock from the sender's
+        # own thread; ingress only from the receiver's thread in match().
+        self.egress = Timeline(f"nic{rank}.egress")
+        self.ingress = Timeline(f"nic{rank}.ingress")
+
+
 class Fabric:
     """Mailboxes + link model shared by every rank of one SPMD run."""
 
@@ -68,23 +124,22 @@ class Fabric:
         self.cluster = cluster
         self.ranks_per_node = ranks_per_node
         self.size = cluster.num_nodes * ranks_per_node
-        self._lock = threading.Lock()
-        self._cv = [threading.Condition(self._lock) for _ in range(self.size)]
-        self._queues: list[list[Message]] = [[] for _ in range(self.size)]
-        self._seq = itertools.count()
+        self._shards = [_Shard(r) for r in range(self.size)]
         self._abort_exc: BaseException | None = None
-        # Per-rank NIC occupancy: a rank injects (egress) and absorbs
-        # (ingress) at most one message's bytes at a time, so fan-in/fan-out
-        # traffic serializes at the endpoints (LogGP's per-byte gap G).
-        self._egress = [Timeline(f"nic{r}.egress") for r in range(self.size)]
-        self._ingress = [Timeline(f"nic{r}.ingress") for r in range(self.size)]
-        self._link_cache: dict[tuple[int, int], InterconnectSpec] = {}
+        # Precomputed link lookup: rank→node array + node-pair table.  The
+        # previous per-(src, dst) dict grew O(size²) entries and was
+        # mutated without a lock from concurrent sender threads; these are
+        # immutable after construction and O(num_nodes²) total.
+        self._rank_node = [r // ranks_per_node for r in range(self.size)]
+        self._node_links = [
+            [cluster.link_between(a, b) for b in range(cluster.num_nodes)]
+            for a in range(cluster.num_nodes)
+        ]
         self.fault_plan: FaultPlan | None = None
 
     def install_faults(self, plan: "FaultPlan | None") -> None:
         """Install (or clear, with ``None``) the fault plan for this run."""
-        with self._lock:
-            self.fault_plan = plan
+        self.fault_plan = plan
 
     def node_of(self, rank: int) -> int:
         """Node index hosting ``rank`` (ranks are packed node-major)."""
@@ -93,14 +148,90 @@ class Fabric:
         return rank // self.ranks_per_node
 
     def link(self, src: int, dst: int) -> InterconnectSpec:
-        """The link class between two ranks (cached; called per message)."""
-        key = (src, dst)
-        spec = self._link_cache.get(key)
-        if spec is None:
-            spec = self.cluster.link_between(self.node_of(src), self.node_of(dst))
-            self._link_cache[key] = spec
-        return spec
+        """The link class between two ranks (precomputed; called per message)."""
+        return self._node_links[self._rank_node[src]][self._rank_node[dst]]
 
+    def egress_timeline(self, rank: int) -> Timeline:
+        """The rank's NIC injection timeline (observability hook)."""
+        return self._shards[rank].egress
+
+    def ingress_timeline(self, rank: int) -> Timeline:
+        """The rank's NIC absorption timeline (observability hook)."""
+        return self._shards[rank].ingress
+
+    # ------------------------------------------------------------------
+    # Mailbox internals (all called with the destination shard's lock held)
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _enqueue(shard: _Shard, msg: Message) -> None:
+        """Append to the (src, tag) FIFO and wake a matching waiter."""
+        object.__setattr__(msg, "seq", shard.seq)
+        shard.seq += 1
+        key = (msg.src, msg.tag)
+        q = shard.queues.get(key)
+        if q is None:
+            q = deque()
+            shard.queues[key] = q
+        q.append(msg)
+        shard.pending += 1
+        wsrc = shard.waiting_src
+        if wsrc is not None and (wsrc == ANY_SOURCE or wsrc == msg.src):
+            wtag = shard.waiting_tag
+            if wtag == ANY_TAG or wtag == msg.tag:
+                shard.cv.notify()
+
+    @staticmethod
+    def _find(shard: _Shard, source: int, tag: int) -> tuple[int, int] | None:
+        """Key of the deque whose head matches (source, tag), else ``None``.
+
+        Specific (source, tag) is a single dict probe; a wildcard scans
+        the active (source, tag) keys: per source the candidate is that
+        source's earliest post (minimum mailbox seq among its matching
+        heads), and among sources the winner has the minimum
+        ``(arrival_time, src)`` — virtual time only, so the pick is
+        independent of sender-thread interleaving.
+        """
+        queues = shard.queues
+        if source != ANY_SOURCE and tag != ANY_TAG:
+            key = (source, tag)
+            return key if key in queues else None
+        best_key: tuple[int, int] | None = None
+        best_head: Message | None = None
+        # Per-source FIFO head first (min seq), then earliest arrival.
+        per_src: dict[int, Message] = {}
+        per_src_key: dict[int, tuple[int, int]] = {}
+        for key, q in queues.items():
+            if source != ANY_SOURCE and key[0] != source:
+                continue
+            if tag != ANY_TAG and key[1] != tag:
+                continue
+            head = q[0]
+            prev = per_src.get(key[0])
+            if prev is None or head.seq < prev.seq:
+                per_src[key[0]] = head
+                per_src_key[key[0]] = key
+        for src, head in per_src.items():
+            if best_head is None or (head.arrival_time, src) < (
+                best_head.arrival_time,
+                best_head.src,
+            ):
+                best_head = head
+                best_key = per_src_key[src]
+        return best_key
+
+    @staticmethod
+    def _pop(shard: _Shard, key: tuple[int, int]) -> Message:
+        """Consume the head of one (src, tag) FIFO (drop emptied keys)."""
+        q = shard.queues[key]
+        msg = q.popleft()
+        if not q:
+            del shard.queues[key]
+        shard.pending -= 1
+        return msg
+
+    # ------------------------------------------------------------------
+    # Send side
+    # ------------------------------------------------------------------
     def inject(self, src: int, ready: float, nbytes: float, link: InterconnectSpec) -> tuple[float, float]:
         """Occupy the sender's egress NIC; returns (wire_start, wire_duration).
 
@@ -108,18 +239,18 @@ class Fabric:
         so egress scheduling stays deterministic).
         """
         wire = nbytes / link.bandwidth
-        with self._lock:
-            iv = self._egress[src].schedule(ready, wire, "msg")
+        shard = self._shards[src]
+        with shard.lock:
+            iv = shard.egress.schedule(ready, wire, "msg")
         return iv.start, wire
 
     def post(self, msg: Message) -> None:
         """Enqueue a message for its destination and wake its receiver."""
-        with self._lock:
+        shard = self._shards[msg.dst]
+        with shard.lock:
             if self._abort_exc is not None:
                 raise CommunicationError("fabric aborted") from self._abort_exc
-            object.__setattr__(msg, "seq", next(self._seq))
-            self._queues[msg.dst].append(msg)
-            self._cv[msg.dst].notify_all()
+            self._enqueue(shard, msg)
 
     def transmit(
         self,
@@ -132,11 +263,11 @@ class Fabric:
         charged: float,
         link: InterconnectSpec,
     ) -> float:
-        """Inject + post in one critical section; returns the arrival time.
+        """Inject + enqueue for the hot path of :meth:`SimComm.send`.
 
-        The hot path of :meth:`SimComm.send`: equivalent to
-        :meth:`inject` followed by :meth:`post`, but takes the fabric lock
-        once per message instead of twice.
+        Egress scheduling runs under the sender's shard lock and the
+        mailbox append under the receiver's, so two sends between disjoint
+        rank pairs share no lock at all.
 
         With a fault plan installed, the plan is consulted here: link
         degradation stretches the wire time, extra delay pushes the
@@ -147,32 +278,39 @@ class Fabric:
         arrival the message *would* have had, so sender traces stay
         comparable across plans.
         """
+        if self._abort_exc is not None:
+            raise CommunicationError("fabric aborted") from self._abort_exc
         wire = charged / link.bandwidth
-        with self._lock:
+        decision = None
+        plan = self.fault_plan
+        if plan is not None:
+            # The plan keeps its own lock; its per-(src, dst) counters
+            # advance in the sender's program order either way.
+            decision = plan.decide(src, dst, tag, send_time)
+            if decision.bandwidth_factor != 1.0:
+                wire = wire / decision.bandwidth_factor
+        src_shard = self._shards[src]
+        with src_shard.lock:
+            iv = src_shard.egress.schedule(send_time, wire, "msg")
+        arrival = iv.start + link.latency + wire
+        if decision is not None:
+            arrival += decision.extra_latency + decision.extra_delay
+            if decision.drop:
+                return arrival
+        msg = Message(
+            src=src,
+            dst=dst,
+            tag=tag,
+            payload=payload,
+            send_time=send_time,
+            arrival_time=arrival,
+            wire_duration=wire,
+        )
+        dst_shard = self._shards[dst]
+        with dst_shard.lock:
             if self._abort_exc is not None:
                 raise CommunicationError("fabric aborted") from self._abort_exc
-            decision = None
-            if self.fault_plan is not None:
-                decision = self.fault_plan.decide(src, dst, tag, send_time)
-                if decision.bandwidth_factor != 1.0:
-                    wire = wire / decision.bandwidth_factor
-            iv = self._egress[src].schedule(send_time, wire, "msg")
-            arrival = iv.start + link.latency + wire
-            if decision is not None:
-                arrival += decision.extra_latency + decision.extra_delay
-                if decision.drop:
-                    return arrival
-            msg = Message(
-                src=src,
-                dst=dst,
-                tag=tag,
-                payload=payload,
-                send_time=send_time,
-                arrival_time=arrival,
-                wire_duration=wire,
-                seq=next(self._seq),
-            )
-            self._queues[dst].append(msg)
+            self._enqueue(dst_shard, msg)
             if decision is not None and decision.duplicate:
                 dup = Message(
                     src=src,
@@ -182,12 +320,13 @@ class Fabric:
                     send_time=send_time,
                     arrival_time=arrival + wire,
                     wire_duration=wire,
-                    seq=next(self._seq),
                 )
-                self._queues[dst].append(dup)
-            self._cv[dst].notify_all()
+                self._enqueue(dst_shard, dup)
         return arrival
 
+    # ------------------------------------------------------------------
+    # Receive side
+    # ------------------------------------------------------------------
     def match(
         self,
         dst: int,
@@ -197,96 +336,86 @@ class Fabric:
     ) -> Message:
         """Block until a message for ``dst`` matching (source, tag) arrives.
 
-        Specific-source matching scans the destination queue in post
+        Specific-source matching consumes the (source, tag) FIFO in post
         order, so two messages from the same source with the same tag are
         received in the order they were sent (MPI non-overtaking).  A
         wildcard (``ANY_SOURCE``) receive considers the per-source FIFO
         head of each candidate source and takes the one with the minimum
         ``(arrival_time, src)`` — a function of virtual time only, so the
         choice among queued messages is identical run-to-run no matter how
-        the OS schedules sender threads (post order for wildcards would
-        expose wall-clock racing between different sources even when every
-        candidate is already queued).  ``timeout`` is a
-        *wall-clock* watchdog: exceeding it means the simulated program is
-        deadlocked.
+        the OS schedules sender threads.  ``timeout`` is a *wall-clock*
+        watchdog (``None`` waits forever): exceeding it means the
+        simulated program is deadlocked.
+
+        While blocked, the receiver's (source, tag) predicate is
+        registered on its shard so senders wake it only for messages that
+        can actually match.
         """
-        cv = self._cv[dst]
-        with self._lock:
+        shard = self._shards[dst]
+        with shard.lock:
             while True:
                 if self._abort_exc is not None:
                     raise CommunicationError("fabric aborted") from self._abort_exc
-                queue = self._queues[dst]
-                found = -1
-                if source != ANY_SOURCE:
-                    for i, msg in enumerate(queue):
-                        if msg.src != source:
-                            continue
-                        if tag != ANY_TAG and msg.tag != tag:
-                            continue
-                        found = i
-                        break
-                else:
-                    # Per-source FIFO heads (first post-order match per
-                    # source), then the head with the earliest arrival.
-                    heads: dict[int, int] = {}
-                    for i, msg in enumerate(queue):
-                        if tag != ANY_TAG and msg.tag != tag:
-                            continue
-                        if msg.src not in heads:
-                            heads[msg.src] = i
-                    if heads:
-                        found = min(
-                            heads.values(),
-                            key=lambda i: (queue[i].arrival_time, queue[i].src),
-                        )
-                if found >= 0:
-                    msg = queue[found]
-                    del queue[found]
+                key = self._find(shard, source, tag)
+                if key is not None:
+                    msg = self._pop(shard, key)
                     # Absorb the bytes through the receiver's ingress NIC:
                     # concurrent inbound streams serialize here.  Matching
                     # order is the receiver's program order, so this stays
                     # deterministic for specific-source receives.
                     if msg.wire_duration > 0:
-                        iv = self._ingress[dst].schedule(
+                        iv = shard.ingress.schedule(
                             msg.arrival_time - msg.wire_duration, msg.wire_duration, "msg"
                         )
                         object.__setattr__(msg, "arrival_time", iv.end)
                     return msg
-                if not cv.wait(timeout=timeout):
+                shard.waiting_src = source
+                shard.waiting_tag = tag
+                try:
+                    notified = shard.cv.wait(timeout=timeout)
+                finally:
+                    shard.waiting_src = None
+                    shard.waiting_tag = None
+                if not notified:
+                    src_desc = "ANY_SOURCE" if source == ANY_SOURCE else str(source)
+                    tag_desc = "ANY_TAG" if tag == ANY_TAG else str(tag)
                     raise DeadlockError(
-                        f"rank {dst} waited {timeout}s (wall clock) for a message "
-                        f"from source={source} tag={tag}; simulated program is deadlocked"
+                        f"rank {dst} waited {timeout:g}s (wall clock) for a message "
+                        f"from source={src_desc} tag={tag_desc}; "
+                        f"{shard.pending} unmatched message(s) queued for this rank; "
+                        f"simulated program is deadlocked"
                     )
 
     def probe(self, dst: int, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> bool:
         """Non-blocking check whether a matching message is queued.
 
-        Raises :class:`CommunicationError` once the fabric is aborted, so
-        a ``Request.test()`` polling loop fails fast after a sibling rank
+        O(1) for a specific (source, tag).  Raises
+        :class:`CommunicationError` once the fabric is aborted, so a
+        ``Request.test()`` polling loop fails fast after a sibling rank
         dies instead of spinning forever on ``False``.
         """
-        with self._lock:
+        shard = self._shards[dst]
+        with shard.lock:
             if self._abort_exc is not None:
                 raise CommunicationError("fabric aborted") from self._abort_exc
-            return any(
-                (source == ANY_SOURCE or m.src == source)
-                and (tag == ANY_TAG or m.tag == tag)
-                for m in self._queues[dst]
-            )
+            return self._find(shard, source, tag) is not None
 
     def pending_count(self, dst: int) -> int:
         """Number of undelivered messages queued for ``dst`` (test hook)."""
-        with self._lock:
-            return len(self._queues[dst])
+        shard = self._shards[dst]
+        with shard.lock:
+            return shard.pending
 
     def abort(self, exc: BaseException) -> None:
         """Poison the fabric: wake every blocked receiver with an error.
 
         Called by the SPMD engine when one rank raises, so sibling ranks
-        blocked in ``recv`` fail fast instead of hanging until the watchdog.
+        blocked in ``recv`` fail fast instead of hanging until the
+        watchdog.  Wakeups here are deliberately untargeted — every shard
+        is notified regardless of its wait predicate.
         """
-        with self._lock:
-            if self._abort_exc is None:
-                self._abort_exc = exc
-            for cv in self._cv:
-                cv.notify_all()
+        if self._abort_exc is None:
+            self._abort_exc = exc
+        for shard in self._shards:
+            with shard.lock:
+                shard.cv.notify_all()

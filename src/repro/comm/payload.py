@@ -44,7 +44,7 @@ _CONTAINER_SLOT_NBYTES = 8
 _OPAQUE_NBYTES = 64
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Payload:
     """An immutable snapshot of data in flight."""
 
@@ -150,6 +150,10 @@ def make_payload(obj: Any, owned: bool = False) -> Payload:
     the message — so no copy is made at all.  User-facing sends leave it
     ``False`` and get full buffered-eager snapshot semantics.
     """
+    if obj is None:
+        # Control tokens (barrier rounds, acks, handshakes) dominate the
+        # message count at many-rank scale; they all share one payload.
+        return _NONE_PAYLOAD
     if isinstance(obj, np.ndarray):
         if owned or not obj.flags.writeable:
             snapshot = obj if not obj.flags.writeable else _readonly_view(obj)
@@ -166,3 +170,7 @@ def make_payload(obj: Any, owned: bool = False) -> Payload:
         )
     data = obj if owned else _snapshot(obj)
     return Payload(data=data, nbytes=estimate_nbytes(obj), is_array=False)
+
+
+#: The shared snapshot of ``None`` (see :func:`make_payload`).
+_NONE_PAYLOAD = Payload(data=None, nbytes=_NONE_NBYTES, is_array=False)

@@ -54,11 +54,18 @@ class Recorder(Trace):
 
     # -- binding hooks --------------------------------------------------
     def bind_fabric(self, fabric: Any) -> None:
-        """Attach this rank's NIC egress/ingress timelines as sinks."""
+        """Attach this rank's NIC egress/ingress timelines as sinks.
+
+        The timelines live on the fabric's per-rank shard (egress is
+        scheduled under the sender's shard lock, ingress under the
+        receiver's), so the sink only ever fires with that shard's lock
+        held — appends from different ranks never interleave within one
+        recorder.
+        """
         if not self.enabled:
             return
-        self._attach(fabric._egress[self.rank])
-        self._attach(fabric._ingress[self.rank])
+        self._attach(fabric.egress_timeline(self.rank))
+        self._attach(fabric.ingress_timeline(self.rank))
 
     def bind_device(self, device: Any) -> None:
         """Attach every engine timeline of one device."""

@@ -1,10 +1,18 @@
-"""SPMD execution engine: one Python thread per simulated MPI rank.
+"""SPMD execution engine: one pooled Python thread per simulated MPI rank.
 
 :func:`spmd_run` launches ``fn(ctx)`` on every rank, where ``ctx`` is a
 :class:`RankContext` carrying the rank's virtual clock, communicator, node
 spec, and (optionally) devices built by a caller-supplied factory.  Rank
 threads synchronize only through the message fabric, so virtual time is
 deterministic for deterministic programs (no wildcard-source races).
+
+Rank threads come from a process-wide reusable pool
+(:class:`_RankThreadPool`): figure sweeps run thousands of back-to-back
+SPMD runs, and at the paper's baseline scale (32 nodes × 12 ranks/node =
+384 rank threads) per-run thread spawn/teardown dominated the wall clock.
+A worker is recycled only after its rank function returns, so a worker
+wedged past the watchdog is simply abandoned (daemon thread) and the pool
+spawns a replacement on demand.
 
 Failure handling: the first rank to raise poisons the fabric, which wakes
 every sibling blocked in a receive; the original exception is re-raised to
@@ -78,6 +86,117 @@ class _RankFailure(Exception):
         super().__init__(f"rank {rank} raised {type(exc).__name__}: {exc}")
         self.rank = rank
         self.exc = exc
+
+
+class _PoolWorker(threading.Thread):
+    """One reusable rank thread: runs submitted tasks until shut down."""
+
+    def __init__(self, pool: "_RankThreadPool", index: int) -> None:
+        super().__init__(name=f"rank-pool-{index}", daemon=True)
+        self._pool = pool
+        self._task: Callable[[], None] | None = None
+        self._wake = threading.Semaphore(0)
+        self.tasks_run = 0
+
+    def submit(self, task: Callable[[], None] | None) -> None:
+        """Hand one task (or ``None`` to shut down) to this idle worker."""
+        self._task = task
+        self._wake.release()
+
+    def run(self) -> None:  # pragma: no cover - exercised via spmd_run
+        while True:
+            self._wake.acquire()
+            task, self._task = self._task, None
+            if task is None:
+                return
+            try:
+                task()
+            finally:
+                self.tasks_run += 1
+                # Recycle only once the task has fully returned: a worker
+                # stuck inside a task never re-enters the idle pool.
+                self._pool._recycle(self)
+
+
+class _RankThreadPool:
+    """Process-wide pool of reusable rank threads.
+
+    ``submit`` hands the task to an idle worker (LIFO, for cache warmth)
+    or spawns a new daemon worker when none is idle, so the pool grows to
+    the peak concurrent rank count and is reused by every subsequent
+    :func:`spmd_run` in the process.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._idle: list[_PoolWorker] = []
+        self.spawned = 0
+
+    def submit(self, task: Callable[[], None]) -> None:
+        with self._lock:
+            worker = self._idle.pop() if self._idle else None
+            if worker is None:
+                self.spawned += 1
+                worker = _PoolWorker(self, self.spawned)
+                worker.start()
+        worker.submit(task)
+
+    def _recycle(self, worker: _PoolWorker) -> None:
+        with self._lock:
+            self._idle.append(worker)
+
+    def stats(self) -> dict[str, int]:
+        """Pool occupancy (test/diagnostic hook)."""
+        with self._lock:
+            return {"spawned": self.spawned, "idle": len(self._idle)}
+
+    def drain(self) -> None:
+        """Shut down every currently idle worker (test hook)."""
+        with self._lock:
+            idle, self._idle = self._idle, []
+        for worker in idle:
+            worker.submit(None)
+        for worker in idle:
+            worker.join(timeout=5.0)
+
+
+#: The process-wide rank-thread pool shared by every ``spmd_run``.
+_pool = _RankThreadPool()
+
+
+def rank_pool_stats() -> dict[str, int]:
+    """Spawned/idle counts of the shared rank-thread pool."""
+    return _pool.stats()
+
+
+class _RunGroup:
+    """Completion tracking for the rank tasks of one SPMD run."""
+
+    def __init__(self, nranks: int) -> None:
+        self._cond = threading.Condition()
+        self._done = [False] * nranks
+        self._remaining = nranks
+
+    def task_done(self, rank: int) -> None:
+        with self._cond:
+            self._done[rank] = True
+            self._remaining -= 1
+            if self._remaining == 0:
+                self._cond.notify_all()
+
+    def wait(self, timeout: float) -> bool:
+        """True when every rank finished within ``timeout`` seconds."""
+        deadline = time.monotonic() + timeout
+        with self._cond:
+            while self._remaining > 0:
+                left = deadline - time.monotonic()
+                if left <= 0 or not self._cond.wait(timeout=left):
+                    return self._remaining == 0
+            return True
+
+    def pending_ranks(self) -> list[int]:
+        with self._cond:
+            return [r for r, done in enumerate(self._done) if not done]
 
 
 def spmd_run(
@@ -192,28 +311,30 @@ def spmd_run(
         # Fast path: run inline (keeps single-rank tests easy to debug).
         rank_main(0)
     else:
-        threads = [
-            threading.Thread(target=rank_main, args=(r,), name=f"rank-{r}", daemon=True)
-            for r in range(nranks)
-        ]
-        for t in threads:
-            t.start()
-        # One monotonic deadline shared by every join: the whole run gets
-        # wall_timeout seconds, not wall_timeout per rank (joining each
-        # thread with a fresh timeout would let a slow run block for up to
-        # nranks * wall_timeout before tripping the watchdog).
-        deadline = time.monotonic() + wall_timeout
-        for t in threads:
-            t.join(timeout=max(0.0, deadline - time.monotonic()))
-            if t.is_alive():
-                fabric.abort(DeadlockError("wall timeout"))
-                for t2 in threads:
-                    t2.join(timeout=5.0)
-                raise DeadlockError(
-                    f"SPMD run exceeded wall timeout of {wall_timeout}s; "
-                    f"still-running ranks: "
-                    f"{[th.name for th in threads if th.is_alive()]}"
-                )
+        group = _RunGroup(nranks)
+
+        def make_task(rank: int) -> Callable[[], None]:
+            def task() -> None:
+                try:
+                    rank_main(rank)
+                finally:
+                    group.task_done(rank)
+
+            return task
+
+        for r in range(nranks):
+            _pool.submit(make_task(r))
+        # One shared wall-clock budget for the whole run, not per rank.
+        if not group.wait(wall_timeout):
+            fabric.abort(DeadlockError("wall timeout"))
+            # Grace period: aborted ranks wake out of their receives and
+            # finish; anything still wedged after this is abandoned to its
+            # (daemon) pool worker, which is never recycled.
+            group.wait(5.0)
+            raise DeadlockError(
+                f"SPMD run exceeded wall timeout of {wall_timeout}s; "
+                f"still-running ranks: {group.pending_ranks()}"
+            )
 
     if failures:
         # Prefer a genuine exception over "stuck" markers from sibling

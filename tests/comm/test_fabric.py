@@ -133,3 +133,56 @@ def test_probe_raises_after_abort(fabric):
     fabric.abort(RuntimeError("sibling died"))
     with pytest.raises(CommunicationError):
         fabric.probe(1)
+
+
+def test_deadlock_message_names_pattern_and_queue_depth(fabric):
+    """The watchdog error must say what the rank was waiting for."""
+    fabric.post(_msg(0, 1, tag=9))  # queued but unmatched by the receive below
+    with pytest.raises(DeadlockError) as exc:
+        fabric.match(1, source=2, tag=5, timeout=0.05)
+    text = str(exc.value)
+    assert "rank 1" in text
+    assert "0.05s" in text
+    assert "source=2" in text and "tag=5" in text
+    assert "1 unmatched message(s)" in text
+    with pytest.raises(DeadlockError) as exc:
+        fabric.match(3, timeout=0.05)
+    text = str(exc.value)
+    assert "source=ANY_SOURCE" in text and "tag=ANY_TAG" in text
+    assert "0 unmatched message(s)" in text
+
+
+def test_non_matching_post_does_not_wake_blocked_receiver(fabric):
+    """Targeted wakeups: only a message that can match notifies the cv."""
+    import threading
+    import time
+
+    got = []
+    thread = threading.Thread(
+        target=lambda: got.append(fabric.match(1, source=0, tag=7, timeout=5.0)),
+        daemon=True,
+    )
+    thread.start()
+    deadline = time.monotonic() + 2.0
+    shard = fabric._shards[1]
+    while shard.waiting_src is None and time.monotonic() < deadline:
+        time.sleep(0.001)
+    assert shard.waiting_src == 0 and shard.waiting_tag == 7
+    fabric.post(_msg(2, 1, tag=7))  # wrong source: receiver must stay parked
+    fabric.post(_msg(0, 1, tag=3))  # wrong tag: receiver must stay parked
+    time.sleep(0.05)
+    assert not got and thread.is_alive()
+    fabric.post(_msg(0, 1, tag=7))
+    thread.join(timeout=5.0)
+    assert got and got[0].src == 0 and got[0].tag == 7
+    assert fabric.pending_count(1) == 2  # the two non-matching posts remain
+
+
+def test_link_lookup_is_precomputed_per_node_pair(fabric):
+    """link() returns the one spec object per node pair, for every rank pair."""
+    for src in range(fabric.size):
+        for dst in range(fabric.size):
+            expect = fabric.cluster.link_between(fabric.node_of(src), fabric.node_of(dst))
+            assert fabric.link(src, dst) is expect
+    # Intra-node pairs on different nodes share the identical spec object.
+    assert fabric.link(0, 1) is fabric.link(2, 3)

@@ -1,0 +1,60 @@
+"""Many-rank stress: the paper-scale 384-thread run, bit-identical and fast.
+
+The sharded fabric + rank-thread pool exist so the paper's per-core MPI
+baselines (32 nodes x 12 ranks per node = 384 rank threads) run inside
+CI's patience.  These tests pin:
+
+- the 384-rank Kmeans baseline completes well inside the tier-1 watchdog
+  and its virtual makespan is bit-for-bit the value the pre-shard global
+  lock fabric produced (``repr`` string captured at the seed commit);
+- a fault-injected reliable run (drops, duplicates, delays — the
+  retransmission machinery) is equally bit-identical, so the sharded
+  enqueue/dup paths charge exactly the same virtual costs.
+"""
+
+import time
+
+from repro.apps import heat3d, kmeans
+from repro.apps.baselines import mpi_kmeans
+from repro.cluster.presets import ohio_cluster
+from repro.faults.plan import FaultPlan
+
+#: repr() of the makespans at the last global-lock commit (the seed for
+#: this optimization); any drift means sharding changed simulated physics.
+SEED_384_RANK_MAKESPAN = "0.11349894073290369"
+SEED_FAULTY_RELIABLE_MAKESPAN = "0.27536852547664836"
+
+#: Wall budget for the 384-rank run.  The global-lock fabric needed ~4.5 s
+#: on the CI box; the sharded fabric ~1 s.  The bound only exists to catch
+#: a catastrophic scalability regression, hence the slack.
+WALL_BUDGET_S = 60.0
+
+
+def test_384_rank_kmeans_baseline_is_bit_identical_and_fast():
+    cluster = ohio_cluster(32)
+    cfg = kmeans.KmeansConfig(functional_points=96_000, iterations=2)
+    t0 = time.perf_counter()
+    run = mpi_kmeans.run(cluster, cfg)
+    wall = time.perf_counter() - t0
+    assert run.nodes == 32
+    assert repr(run.makespan) == SEED_384_RANK_MAKESPAN
+    assert wall < WALL_BUDGET_S, f"384-rank run took {wall:.1f}s"
+
+
+def test_fault_injected_reliable_run_is_bit_identical():
+    run = heat3d.run(
+        ohio_cluster(4),
+        heat3d.Heat3DConfig(functional_shape=(24, 24, 24), simulated_steps=4),
+        reliable=True,
+        fault_plan=FaultPlan.lossy(seed=7, drop=0.08, dup=0.05, delay=0.1, max_delay=5e-4),
+    )
+    assert repr(run.makespan) == SEED_FAULTY_RELIABLE_MAKESPAN
+
+
+def test_many_rank_run_is_repeatable_across_pool_reuse():
+    """Two back-to-back runs reuse pooled threads yet agree bit-for-bit."""
+    cluster = ohio_cluster(32)
+    cfg = kmeans.KmeansConfig(functional_points=96_000, iterations=1)
+    first = mpi_kmeans.run(cluster, cfg)
+    second = mpi_kmeans.run(cluster, cfg)
+    assert repr(first.makespan) == repr(second.makespan)

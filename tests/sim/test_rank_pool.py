@@ -1,0 +1,96 @@
+"""The process-wide rank-thread pool behind :func:`spmd_run`.
+
+Covers the lifecycle guarantees the engine relies on: workers are reused
+across runs (no per-run spawn storm), a worker stuck inside a task is
+never recycled (wedged ranks get abandoned, not reused), idle workers can
+be drained, and the deadlock watchdog leaves the pool healthy for the
+next run.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.cluster.presets import laptop_cluster
+from repro.sim.engine import _RankThreadPool, rank_pool_stats, spmd_run
+from repro.util.errors import DeadlockError
+
+
+def _wait_until(pred, timeout=5.0):
+    deadline = time.monotonic() + timeout
+    while not pred():
+        if time.monotonic() > deadline:
+            raise AssertionError("condition not reached in time")
+        time.sleep(0.001)
+
+
+def test_workers_are_reused_across_runs():
+    cluster = laptop_cluster(num_nodes=2)
+
+    def prog(ctx):
+        ctx.comm.barrier()
+        return ctx.rank
+
+    spmd_run(prog, cluster, ranks_per_node=2)  # warm the pool
+    spawned_before = rank_pool_stats()["spawned"]
+    for _ in range(3):
+        res = spmd_run(prog, cluster, ranks_per_node=2)
+    assert res.values == [0, 1, 2, 3]
+    stats = rank_pool_stats()
+    assert stats["spawned"] == spawned_before  # warm runs spawn nothing new
+    assert stats["idle"] >= 1
+
+
+def test_busy_worker_is_not_recycled_until_task_returns():
+    pool = _RankThreadPool()
+    release = threading.Event()
+    pool.submit(release.wait)
+    _wait_until(lambda: pool.stats()["spawned"] == 1)
+    assert pool.stats()["idle"] == 0
+    # A second task while the first is wedged must spawn a new worker.
+    done = threading.Event()
+    pool.submit(done.set)
+    assert done.wait(5.0)
+    assert pool.stats()["spawned"] == 2
+    release.set()
+    _wait_until(lambda: pool.stats()["idle"] == 2)
+    pool.drain()
+
+
+def test_drain_shuts_down_idle_workers():
+    pool = _RankThreadPool()
+    done = threading.Event()
+    pool.submit(done.set)
+    assert done.wait(5.0)
+    _wait_until(lambda: pool.stats()["idle"] == 1)
+    pool.drain()
+    assert pool.stats() == {"spawned": 1, "idle": 0}
+    # The pool still works after a drain: it simply spawns fresh workers.
+    again = threading.Event()
+    pool.submit(again.set)
+    assert again.wait(5.0)
+    _wait_until(lambda: pool.stats()["idle"] == 1)
+    pool.drain()
+
+
+def test_watchdog_abandons_wedged_rank_and_pool_recovers():
+    cluster = laptop_cluster(num_nodes=2)
+    release = threading.Event()
+
+    def wedged(ctx):
+        if ctx.rank == 0:
+            release.wait()  # ignores the fabric abort: stays wedged
+        return ctx.rank
+
+    with pytest.raises(DeadlockError):
+        spmd_run(wedged, cluster, ranks_per_node=1, wall_timeout=0.3)
+
+    # The abandoned worker must not be handed the next run's rank.
+    def prog(ctx):
+        ctx.comm.barrier()
+        return ctx.rank
+
+    res = spmd_run(prog, cluster, ranks_per_node=2)
+    assert res.values == [0, 1, 2, 3]
+    release.set()  # let the abandoned daemon thread finish quietly
