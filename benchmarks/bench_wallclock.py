@@ -278,6 +278,57 @@ def bench_fabric_comm(cfg: dict) -> dict:
     return out
 
 
+def bench_threads_vs_processes(cfg: dict) -> dict:
+    """A/B the SPMD backends on the paper-scale 384-rank Kmeans baseline.
+
+    Interleaved best-of-3 (t, p, t, p, t, p) so machine noise hits both
+    backends alike, exactly like ``fabric_before_after`` did for the
+    sharded fabric.  Virtual makespans must be bit-identical — that is the
+    backend's contract — and are asserted here, not just recorded.
+
+    The process backend is forced to at least two workers so the
+    cross-process bridge is really measured; on a single-core host that
+    honestly shows the bridge's overhead without the parallelism that pays
+    for it, so the CI gate (:func:`compare`) only requires processes to
+    beat threads when ``cores`` > 1.
+    """
+    import os
+
+    from repro.apps.baselines import mpi_kmeans
+
+    cluster = ohio_cluster(cfg["baseline_ranks_nodes"])
+    config = cfg["baseline_ranks"]
+    cores = os.cpu_count() or 1
+    workers = max(2, cores)
+
+    t_wall = p_wall = float("inf")
+    t_span = p_span = None
+    for _ in range(3):
+        t0 = time.perf_counter()
+        t_run = mpi_kmeans.run(cluster, config, backend="threads")
+        t_wall = min(t_wall, time.perf_counter() - t0)
+        t_span = t_run.makespan
+        t0 = time.perf_counter()
+        p_run = mpi_kmeans.run(cluster, config, backend="processes", workers=workers)
+        p_wall = min(p_wall, time.perf_counter() - t0)
+        p_span = p_run.makespan
+    if repr(t_span) != repr(p_span):
+        raise AssertionError(
+            f"backends disagree on the virtual makespan: "
+            f"threads {t_span!r} vs processes {p_span!r}"
+        )
+    return {
+        "threads_vs_processes": {
+            "threads_wall_s": round(t_wall, 4),
+            "processes_wall_s": round(p_wall, 4),
+            "speedup": round(t_wall / max(p_wall, 1e-9), 4),
+            "makespan": t_span,
+            "cores": cores,
+            "workers": workers,
+        }
+    }
+
+
 def bench_obs_overhead(cfg: dict) -> dict:
     """Instrumented vs uninstrumented wall clock for one functional run.
 
@@ -337,20 +388,35 @@ def collect(mode: str) -> dict:
     # many-rank churn can't perturb its interleaved A/B measurement.
     record["cases"].update(bench_obs_overhead(cfg))
     record["cases"].update(bench_fabric_comm(cfg))
+    record["cases"].update(bench_threads_vs_processes(cfg))
     return record
 
 
 def _git_rev() -> str:
+    """Short HEAD revision, with a ``-dirty`` suffix for unclean trees.
+
+    The committed baseline's ``git`` field is its provenance: it must name
+    the commit whose code produced the numbers.  A record refreshed while
+    the tree had uncommitted changes is stamped ``-dirty`` so the smoke
+    check (:func:`compare`) rejects it as a baseline — refresh the JSON
+    *after* committing the code change it measures.
+    """
     try:
-        return (
-            subprocess.run(
-                ["git", "rev-parse", "--short", "HEAD"],
-                cwd=REPO_ROOT,
-                capture_output=True,
-                text=True,
-                check=True,
-            ).stdout.strip()
-        )
+        rev = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=REPO_ROOT,
+            capture_output=True,
+            text=True,
+            check=True,
+        ).stdout.strip()
+        status = subprocess.run(
+            ["git", "status", "--porcelain"],
+            cwd=REPO_ROOT,
+            capture_output=True,
+            text=True,
+            check=True,
+        ).stdout.strip()
+        return f"{rev}-dirty" if status else rev
     except Exception:
         return "unknown"
 
@@ -371,6 +437,13 @@ def compare(record: dict, baseline_path: Path, threshold: float) -> int:
     baseline = json.loads(baseline_path.read_text())
     base_cases = baseline["cases"]
     failures = []
+    base_git = baseline.get("git", "unknown")
+    if base_git == "unknown" or base_git.endswith("-dirty"):
+        failures.append(
+            f"baseline provenance: git field is {base_git!r} — the committed "
+            "record must be stamped with the clean commit that produced it "
+            "(refresh the JSON after committing the code change)"
+        )
     over = record["cases"].get("obs_overhead")
     if over is not None and over["overhead_ratio"] > 1.0 + _OBS_OVERHEAD_THRESHOLD:
         failures.append(
@@ -379,6 +452,19 @@ def compare(record: dict, baseline_path: Path, threshold: float) -> int:
             f"({over['overhead_ratio']:.3f}x, "
             f"threshold {1.0 + _OBS_OVERHEAD_THRESHOLD:.2f}x)"
         )
+    ab = record["cases"].get("threads_vs_processes")
+    if ab is not None:
+        if ab["cores"] > 1 and ab["processes_wall_s"] > ab["threads_wall_s"]:
+            failures.append(
+                f"threads_vs_processes: process backend slower than threads on a "
+                f"{ab['cores']}-core host ({ab['processes_wall_s']}s vs "
+                f"{ab['threads_wall_s']}s, {ab['speedup']:.2f}x)"
+            )
+        elif ab["cores"] <= 1:
+            print(
+                "SKIP threads_vs_processes speed gate: single-core host "
+                f"(speedup {ab['speedup']:.2f}x recorded, not gated)"
+            )
     for name, case in record["cases"].items():
         base = base_cases.get(name)
         if base is None:
@@ -389,6 +475,8 @@ def compare(record: dict, baseline_path: Path, threshold: float) -> int:
                     f"{name}: virtual makespan drifted "
                     f"{base['makespan']!r} -> {case['makespan']!r}"
                 )
+        if "wall_s" not in case or "wall_s" not in base:
+            continue  # A/B cases carry per-variant walls, not a single wall_s
         ratio = case["wall_s"] / max(base["wall_s"], 1e-9)
         if ratio > 1.0 + threshold:
             failures.append(

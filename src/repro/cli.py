@@ -81,6 +81,32 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print per-device roofline parameters and the timeline inventory",
     )
+    info_p.add_argument(
+        "--backends",
+        action="store_true",
+        help="print the SPMD execution backends and this host's defaults",
+    )
+
+    def add_backend_args(p: argparse.ArgumentParser) -> None:
+        from repro.sim import BACKENDS
+
+        p.add_argument(
+            "--backend",
+            choices=BACKENDS,
+            default=None,
+            help="SPMD execution backend: 'threads' (default) or 'processes' "
+            "(rank blocks on worker processes — same virtual makespans, "
+            "parallel wall clock on multi-core hosts); default also honours "
+            "the REPRO_SPMD_BACKEND environment variable",
+        )
+        p.add_argument(
+            "--workers",
+            type=int,
+            default=None,
+            metavar="N",
+            help="process-backend worker count (default: REPRO_SPMD_WORKERS, "
+            "else the CPU count)",
+        )
 
     run_p = sub.add_parser("run", help="run one application on the simulated cluster")
     run_p.add_argument("app", choices=sorted(_APPS))
@@ -88,6 +114,7 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument(
         "--mix", choices=sorted(DEVICE_MIXES), default="cpu+2gpu", help="device mix per node"
     )
+    add_backend_args(run_p)
     run_p.add_argument(
         "--no-overlap",
         action="store_true",
@@ -158,6 +185,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="also write a Chrome-trace/Perfetto JSON of the run here",
     )
+    add_backend_args(prof_p)
 
     fig_p = sub.add_parser("figure", help="regenerate one paper table/figure")
     fig_p.add_argument("which", choices=sorted(_FIGURES))
@@ -187,6 +215,39 @@ def cmd_info(args: argparse.Namespace | None = None) -> str:
     if args is not None and getattr(args, "devices", False):
         lines.append("")
         lines.append(_device_details(cluster))
+    if args is not None and getattr(args, "backends", False):
+        lines.append("")
+        lines.append(_backend_details())
+    return "\n".join(lines)
+
+
+def _backend_details() -> str:
+    """The SPMD execution backends and this host's effective defaults."""
+    import os
+
+    from repro.sim import BACKENDS, resolve_backend
+    from repro.sim.procpool import resolve_workers
+
+    default = resolve_backend(None)
+    workers = resolve_workers(None, nranks=1 << 30)
+    lines = [
+        "SPMD execution backends (--backend, or REPRO_SPMD_BACKEND):",
+        "  threads   : every rank is a pooled thread in one process; cheapest",
+        "              per run, but all ranks share one GIL",
+        "  processes : rank blocks on a warm pool of worker processes with",
+        "              shared-memory payloads; identical virtual makespans,",
+        "              parallel wall clock on multi-core hosts",
+        f"  default   : {default}"
+        + (" (from REPRO_SPMD_BACKEND)" if os.environ.get("REPRO_SPMD_BACKEND") else ""),
+        f"  workers   : {workers} (--workers, or REPRO_SPMD_WORKERS; host has "
+        f"{os.cpu_count() or 1} CPU core(s))",
+        f"  backends  : {', '.join(BACKENDS)}",
+    ]
+    if (os.cpu_count() or 1) <= 1:
+        lines.append(
+            "  note      : single-core host — the process backend falls back to"
+        )
+        lines.append("              threads unless --workers forces a worker count")
     return "\n".join(lines)
 
 
@@ -235,6 +296,10 @@ _FAULT_APPS = ("heat3d", "kmeans")
 def cmd_run(args: argparse.Namespace) -> str:
     cluster = ohio_cluster(args.nodes)
     kwargs = {}
+    if args.backend is not None:
+        kwargs["backend"] = args.backend
+    if args.workers is not None:
+        kwargs["workers"] = args.workers
     if args.app in ("moldyn", "minimd", "sobel", "heat3d") and args.no_overlap:
         kwargs["overlap"] = False
     plan = None
@@ -299,8 +364,13 @@ def cmd_run(args: argparse.Namespace) -> str:
 def cmd_profile(args: argparse.Namespace) -> str:
     from repro.obs import profile_app, render_text_report, write_chrome_trace
 
+    run_kwargs = {}
+    if args.backend is not None:
+        run_kwargs["backend"] = args.backend
+    if args.workers is not None:
+        run_kwargs["workers"] = args.workers
     apprun, report = profile_app(
-        args.app, nodes=args.nodes, mix=args.mix, scale=args.scale
+        args.app, nodes=args.nodes, mix=args.mix, scale=args.scale, **run_kwargs
     )
     report.verify()
     extra = []

@@ -297,6 +297,63 @@ class Fabric:
             arrival += decision.extra_latency + decision.extra_delay
             if decision.drop:
                 return arrival
+        self._deliver(
+            src,
+            dst,
+            tag,
+            payload,
+            send_time=send_time,
+            arrival=arrival,
+            wire=wire,
+            duplicate=decision is not None and decision.duplicate,
+        )
+        return arrival
+
+    def _deliver(
+        self,
+        src: int,
+        dst: int,
+        tag: int,
+        payload: Payload,
+        *,
+        send_time: float,
+        arrival: float,
+        wire: float,
+        duplicate: bool,
+    ) -> None:
+        """Enqueue one transmitted message (plus its optional duplicate).
+
+        All virtual-time decisions (egress scheduling, fault verdicts, the
+        arrival time itself) are made by the caller; this hook only appends
+        to the destination mailbox.  The process backend's
+        :class:`~repro.sim.procworker._BridgedFabric` overrides it to ship
+        remote-rank messages across the worker boundary — both backends
+        then funnel through :meth:`deliver_local` on the destination side,
+        so the (src, tag) FIFO order and duplicate adjacency are identical.
+        """
+        self.deliver_local(
+            src, dst, tag, payload, send_time=send_time, arrival=arrival,
+            wire=wire, duplicate=duplicate,
+        )
+
+    def deliver_local(
+        self,
+        src: int,
+        dst: int,
+        tag: int,
+        payload: Payload,
+        *,
+        send_time: float,
+        arrival: float,
+        wire: float,
+        duplicate: bool,
+    ) -> None:
+        """Append a message (and its duplicate) to a mailbox owned here.
+
+        A duplicate is enqueued immediately after its original under one
+        lock hold, so the pair's mailbox sequence numbers are adjacent —
+        the dedup probing order the reliable layer relies on.
+        """
         msg = Message(
             src=src,
             dst=dst,
@@ -311,7 +368,7 @@ class Fabric:
             if self._abort_exc is not None:
                 raise CommunicationError("fabric aborted") from self._abort_exc
             self._enqueue(dst_shard, msg)
-            if decision is not None and decision.duplicate:
+            if duplicate:
                 dup = Message(
                     src=src,
                     dst=dst,
@@ -322,7 +379,6 @@ class Fabric:
                     wire_duration=wire,
                 )
                 self._enqueue(dst_shard, dup)
-        return arrival
 
     # ------------------------------------------------------------------
     # Receive side

@@ -1,0 +1,242 @@
+"""Cross-process payload wire protocol (shared memory + pickle).
+
+The process-parallel SPMD backend ships in-flight messages between worker
+processes.  Virtual-time metadata (send/arrival times, wire duration,
+charged bytes) travels as plain picklable fields; this module handles the
+*payload* so PR 1's zero-copy discipline survives the process boundary:
+
+- **Large array payloads** are carried in
+  :class:`multiprocessing.shared_memory.SharedMemory` segments.  The
+  sender copies the (contiguous view of the) array into a fresh segment
+  exactly once and closes its handle; the receiver maps the segment and
+  wraps a **read-only zero-copy view** of it in a
+  :class:`~repro.comm.payload.Payload` — delivery on the receive side
+  (`deliver()` views, ``out=`` fills) never copies the buffer again.
+  Segment lifetime is owned by the *receiving* worker's
+  :class:`ShmRegistry`: segments stay mapped until the run finishes (a
+  received view may be forwarded or held by the rank program), then are
+  closed and unlinked in one sweep.
+- **Small array payloads** (below :func:`shm_threshold` bytes) travel
+  inline as raw bytes — a shared-memory segment costs two syscalls plus a
+  name exchange, which dwarfs a memcpy of a halo face.  The decoded array
+  is a zero-copy read-only view over the received bytes object.
+- **Object payloads** (control tokens, tuples, dicts) fall back to
+  pickle.  Arrays inside the unpickled object graph are re-frozen
+  read-only so receivers keep the thread backend's can't-corrupt-in-flight
+  guarantee.  The shared ``None`` payload singleton is encoded as a
+  one-byte kind tag and decoded back to the singleton.
+
+Every encoding preserves the payload's *charged* ``nbytes`` verbatim (it
+may differ from the buffer size when a send overrode ``wire_bytes``), so
+trace counters and virtual costs are bit-identical across backends.
+"""
+
+from __future__ import annotations
+
+import pickle
+from multiprocessing import resource_tracker, shared_memory
+from typing import Any
+
+import numpy as np
+
+from repro.comm.payload import Payload, none_payload
+from repro.util.errors import ValidationError
+
+#: Array payloads at or above this many bytes ride in shared memory;
+#: smaller ones are inlined.  Module-level so tests can drive both paths.
+SHM_MIN_BYTES_DEFAULT = 1 << 16
+
+_shm_min_bytes = SHM_MIN_BYTES_DEFAULT
+
+
+def shm_threshold() -> int:
+    """Current inline-vs-shared-memory cutover in bytes."""
+    return _shm_min_bytes
+
+
+def set_shm_threshold(nbytes: int) -> int:
+    """Set the cutover (test hook); returns the previous value."""
+    global _shm_min_bytes
+    if nbytes < 0:
+        raise ValidationError(f"shm threshold must be >= 0, got {nbytes}")
+    prev = _shm_min_bytes
+    _shm_min_bytes = nbytes
+    return prev
+
+
+# Wire-record kind tags (first element of every encoded payload tuple).
+KIND_NONE = "none"
+KIND_INLINE = "arr"
+KIND_SHM = "shm"
+KIND_OBJECT = "obj"
+
+
+def _freeze_arrays(obj: Any) -> None:
+    """Flip every ndarray reachable in a fresh container graph read-only.
+
+    Pickle does not preserve the ``writeable=False`` flag, so arrays inside
+    decoded object payloads come back mutable; receivers of the thread
+    backend get the sender's read-only snapshot, and the wire must match.
+    Only containers the snapshotter builds are walked (tuple/list/dict/
+    set/frozenset) — the graph is freshly unpickled, so mutating flags in
+    place is safe.
+    """
+    if isinstance(obj, np.ndarray):
+        obj.setflags(write=False)
+        return
+    if isinstance(obj, (tuple, list, set, frozenset)):
+        for v in obj:
+            _freeze_arrays(v)
+        return
+    if isinstance(obj, dict):
+        for k, v in obj.items():
+            _freeze_arrays(k)
+            _freeze_arrays(v)
+
+
+def encode_payload(payload: Payload) -> tuple:
+    """Encode a payload into a picklable wire record.
+
+    Array payloads choose shared memory vs inline bytes by size; the
+    original dtype and shape travel alongside so the receive side rebuilds
+    an identical-looking (read-only) array.  Non-contiguous views are
+    compacted once on the send side — receivers always map a contiguous
+    buffer.
+    """
+    data = payload.data
+    if data is None and not payload.is_array:
+        return (KIND_NONE,)
+    if payload.is_array:
+        arr = np.ascontiguousarray(data)
+        if arr.nbytes >= _shm_min_bytes and arr.nbytes > 0:
+            shm = shared_memory.SharedMemory(create=True, size=arr.nbytes)
+            try:
+                view = np.ndarray(arr.shape, dtype=arr.dtype, buffer=shm.buf)
+                np.copyto(view, arr)
+                del view
+            finally:
+                name = shm.name
+                shm.close()
+            # Ownership transfers to the receiving worker's ShmRegistry:
+            # unregister here so this process's resource tracker does not
+            # complain (or double-unlink) at exit for a segment another
+            # process will unlink.
+            _untrack_shm(name)
+            return (KIND_SHM, name, arr.dtype, arr.shape, payload.nbytes)
+        return (KIND_INLINE, arr.dtype, arr.shape, payload.nbytes, arr.tobytes())
+    try:
+        blob = pickle.dumps(data, protocol=pickle.HIGHEST_PROTOCOL)
+    except Exception:
+        import cloudpickle
+
+        blob = cloudpickle.dumps(data)
+    return (KIND_OBJECT, blob, payload.nbytes)
+
+
+def decode_payload(record: tuple, registry: "ShmRegistry | None" = None) -> Payload:
+    """Decode a wire record back into a frozen :class:`Payload`.
+
+    Shared-memory records require a ``registry`` that takes ownership of
+    the mapped segment (keeping the zero-copy view's buffer alive until
+    the run's cleanup sweep).
+    """
+    kind = record[0]
+    if kind == KIND_NONE:
+        return none_payload()
+    if kind == KIND_INLINE:
+        _, dtype, shape, nbytes, raw = record
+        # np.frombuffer over an immutable bytes object is already read-only.
+        view = np.frombuffer(raw, dtype=dtype).reshape(shape)
+        return Payload(data=view, nbytes=nbytes, is_array=True)
+    if kind == KIND_SHM:
+        _, name, dtype, shape, nbytes = record
+        if registry is None:
+            raise ValidationError("shared-memory payload needs a ShmRegistry")
+        shm = registry.adopt(name)
+        view = np.ndarray(shape, dtype=dtype, buffer=shm.buf)
+        view.setflags(write=False)
+        return Payload(data=view, nbytes=nbytes, is_array=True)
+    if kind == KIND_OBJECT:
+        _, blob, nbytes = record
+        data = pickle.loads(blob)
+        _freeze_arrays(data)
+        return Payload(data=data, nbytes=nbytes, is_array=False)
+    raise ValidationError(f"unknown payload wire kind {kind!r}")
+
+
+def discard_record(record: tuple) -> None:
+    """Release resources named by an undecoded record (dropped post-abort).
+
+    A record that never reaches :func:`decode_payload` — e.g. it arrived
+    for a run that already aborted — may still own a shared-memory
+    segment; unlink it so aborted runs cannot leak ``/dev/shm`` entries.
+    """
+    if record and record[0] == KIND_SHM:
+        try:
+            shm = shared_memory.SharedMemory(name=record[1])
+        except FileNotFoundError:
+            return
+        shm.close()
+        try:
+            shm.unlink()
+        except FileNotFoundError:  # pragma: no cover - lost the unlink race
+            pass
+
+
+def _untrack_shm(name: str) -> None:
+    """Drop a segment from this process's resource tracker (best effort)."""
+    try:  # pragma: no cover - tracker internals vary across 3.x
+        resource_tracker.unregister(f"/{name}", "shared_memory")
+    except Exception:
+        pass
+
+
+class ShmRegistry:
+    """Per-run ownership of received shared-memory segments.
+
+    The receiving worker adopts every mapped segment here; zero-copy views
+    handed to rank programs stay valid for the whole run, and the run's
+    ``finish``/abort cleanup closes and unlinks everything in one sweep.
+    Thread-safe: peer router threads adopt while the run executes.
+    """
+
+    def __init__(self) -> None:
+        import threading
+
+        self._lock = threading.Lock()
+        self._segments: dict[str, shared_memory.SharedMemory] = {}
+
+    def adopt(self, name: str) -> shared_memory.SharedMemory:
+        with self._lock:
+            shm = self._segments.get(name)
+            if shm is None:
+                # Attaching does not register with the resource tracker
+                # (only create=True does), so no unregister dance is needed
+                # here; this registry unlinks explicitly in release_all().
+                shm = shared_memory.SharedMemory(name=name)
+                self._segments[name] = shm
+        return shm
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._segments)
+
+    def release_all(self) -> int:
+        """Close + unlink every adopted segment; returns how many."""
+        with self._lock:
+            segments, self._segments = self._segments, {}
+        released = 0
+        for shm in segments.values():
+            try:
+                shm.close()
+            except BufferError:  # pragma: no cover - view still exported
+                # A rank program kept a view alive past the run; leave the
+                # mapping (the OS reclaims it at process exit) but still
+                # unlink the name so the segment cannot accumulate.
+                pass
+            try:
+                shm.unlink()
+            except FileNotFoundError:  # pragma: no cover
+                pass
+            released += 1
+        return released

@@ -221,6 +221,52 @@ class FaultPlan:
             )
         return cls(seed=seed, rules=rules, crashes=crashes)
 
+    # -- cross-process support -----------------------------------------
+    def __getstate__(self) -> dict:
+        """Picklable state (the lock is dropped and rebuilt on restore).
+
+        The process-parallel SPMD backend ships one plan copy to every
+        worker.  Per-(src, dst) counters advance in the *sender's* program
+        order and every rank's sends happen in exactly one worker, so the
+        replicas never disagree: each (src, dst) stream is driven by a
+        single process, with the same seed — decisions are bit-identical
+        to the thread backend's single shared plan.
+        """
+        state = self.__dict__.copy()
+        del state["_lock"]
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.Lock()
+
+    def stats_snapshot(self) -> dict[str, int]:
+        """Counter values right now (used to compute per-worker deltas)."""
+        with self._lock:
+            return {
+                "decisions": self.stats.decisions,
+                "drops": self.stats.drops,
+                "duplicates": self.stats.duplicates,
+                "delays": self.stats.delays,
+                "degraded": self.stats.degraded,
+                "crashes_consumed": self.stats.crashes_consumed,
+            }
+
+    def absorb(self, stats_delta: dict[str, int], consumed_crashes: list[int]) -> None:
+        """Merge one worker's activity back into this (parent) plan.
+
+        ``stats_delta`` is the worker replica's counter increase over the
+        snapshot it started from; ``consumed_crashes`` are indices into
+        ``self.crashes`` the worker marked consumed.  Each decision and
+        each crash happens in exactly one worker, so summing deltas
+        reproduces the thread backend's totals.
+        """
+        with self._lock:
+            for name, delta in stats_delta.items():
+                setattr(self.stats, name, getattr(self.stats, name) + delta)
+            for idx in consumed_crashes:
+                self.crashes[idx].consumed = True
+
     # -- deterministic RNG ---------------------------------------------
     def _rng(self, src: int, dst: int, index: int) -> random.Random:
         h = (self.seed & 0xFFFFFFFF) or 0x9E3779B9

@@ -20,7 +20,14 @@ Key pieces:
 from repro.sim.clock import VirtualClock
 from repro.sim.timeline import Timeline
 from repro.sim.trace import Trace, TraceEvent, overlap_seconds
-from repro.sim.engine import RankContext, SpmdResult, spmd_run
+from repro.sim.engine import (
+    BACKENDS,
+    RankContext,
+    SpmdResult,
+    rank_pool_stats,
+    resolve_backend,
+    spmd_run,
+)
 
 __all__ = [
     "VirtualClock",
@@ -28,7 +35,19 @@ __all__ = [
     "Trace",
     "TraceEvent",
     "overlap_seconds",
+    "BACKENDS",
     "RankContext",
     "SpmdResult",
+    "rank_pool_stats",
+    "resolve_backend",
     "spmd_run",
+    "process_pool_stats",
 ]
+
+
+def process_pool_stats() -> dict[str, int]:
+    """Stats of the process backend's worker pool (lazy import: the pool
+    module is only loaded once a ``backend="processes"`` run happens)."""
+    from repro.sim.procpool import process_pool_stats as _stats
+
+    return _stats()

@@ -1,10 +1,22 @@
-"""SPMD execution engine: one pooled Python thread per simulated MPI rank.
+"""SPMD execution engine: pooled rank threads, or rank-packed worker processes.
 
 :func:`spmd_run` launches ``fn(ctx)`` on every rank, where ``ctx`` is a
 :class:`RankContext` carrying the rank's virtual clock, communicator, node
 spec, and (optionally) devices built by a caller-supplied factory.  Rank
 threads synchronize only through the message fabric, so virtual time is
 deterministic for deterministic programs (no wildcard-source races).
+
+Two execution backends share this entry point (``backend=`` or the
+``REPRO_SPMD_BACKEND`` environment variable):
+
+- ``"threads"`` (default): every rank is a pooled thread in this process.
+  Cheapest per run, but all ranks serialize on one GIL — many-rank wall
+  time is bounded by a single core.
+- ``"processes"``: ranks are packed onto a warm pool of worker
+  *processes* (:mod:`repro.sim.procpool`), each hosting its block of
+  ranks as threads on a bridged fabric; numpy payloads cross the worker
+  boundary in shared memory.  Virtual makespans are bit-identical to the
+  thread backend — the backends differ only in wall-clock parallelism.
 
 Rank threads come from a process-wide reusable pool
 (:class:`_RankThreadPool`): figure sweeps run thousands of back-to-back
@@ -23,6 +35,7 @@ hanging the test suite.
 
 from __future__ import annotations
 
+import os
 import threading
 import time
 from dataclasses import dataclass, field
@@ -38,6 +51,20 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.faults.plan import FaultPlan
 
 DeviceFactory = Callable[["RankContext"], Sequence[Any]]
+
+#: The SPMD execution backends selectable per run.
+BACKENDS = ("threads", "processes")
+
+
+def resolve_backend(backend: str | None) -> str:
+    """Resolve an explicit/env/default backend name, validating it."""
+    if backend is None:
+        backend = os.environ.get("REPRO_SPMD_BACKEND", "threads")
+    if backend not in BACKENDS:
+        raise ValidationError(
+            f"unknown SPMD backend {backend!r}; choose from {list(BACKENDS)}"
+        )
+    return backend
 
 
 @dataclass
@@ -86,6 +113,83 @@ class _RankFailure(Exception):
         super().__init__(f"rank {rank} raised {type(exc).__name__}: {exc}")
         self.rank = rank
         self.exc = exc
+
+
+def run_one_rank(
+    fabric: Any,
+    rank: int,
+    nranks: int,
+    cluster: ClusterSpec,
+    fn: Callable[..., Any],
+    args: tuple,
+    kwargs: dict,
+    trace: Trace,
+    device_factory: DeviceFactory | None,
+    recv_timeout: float,
+    fault_plan: "FaultPlan | None",
+) -> tuple[Any, float]:
+    """Wire up one rank's context and run its program.
+
+    Returns ``(value, final virtual time)``.  Shared by the thread backend
+    (below) and the process backend's workers
+    (:mod:`repro.sim.procworker`), so both build bit-identical contexts.
+    """
+    from repro.comm.communicator import SimComm
+
+    clock = VirtualClock()
+    comm = SimComm(fabric, rank, clock, trace=trace, recv_timeout=recv_timeout)
+    ctx = RankContext(
+        rank=rank,
+        size=nranks,
+        node_index=fabric.node_of(rank),
+        node=cluster.node,
+        cluster=cluster,
+        clock=clock,
+        comm=comm,
+        trace=trace,
+        fault_plan=fault_plan,
+    )
+    if device_factory is not None:
+        ctx.devices = list(device_factory(ctx))
+    value = fn(ctx, *args, **kwargs)
+    return value, clock.now
+
+
+def record_rank_failure(
+    fabric: Any,
+    rank: int,
+    exc: BaseException,
+    failures: list[_RankFailure],
+    failure_lock: threading.Lock,
+) -> None:
+    """Record one rank's exception and poison the fabric if it is genuine.
+
+    A :class:`CommunicationError` raised *because* a sibling already
+    aborted the fabric is only a wakeup echo: it becomes a low-priority
+    "stuck" marker (and only if nothing else was recorded).  Everything
+    else is a real failure and aborts the fabric to release siblings.
+    """
+    if isinstance(exc, CommunicationError):
+        with failure_lock:
+            if fabric._abort_exc is not None and fabric._abort_exc is not exc:
+                if not failures:
+                    failures.append(
+                        _RankFailure(rank, DeadlockError(f"rank {rank} stuck"))
+                    )
+            else:
+                failures.append(_RankFailure(rank, exc))
+                fabric.abort(exc)
+    else:
+        with failure_lock:
+            failures.append(_RankFailure(rank, exc))
+        fabric.abort(exc)
+
+
+def select_failure(failures: list[_RankFailure]) -> _RankFailure:
+    """The failure to surface: prefer genuine errors over stuck markers,
+    then the lowest rank — identical on both backends."""
+    real = [f for f in failures if not isinstance(f.exc, DeadlockError)]
+    return min(real or failures, key=lambda f: f.rank)
 
 
 class _PoolWorker(threading.Thread):
@@ -212,6 +316,8 @@ def spmd_run(
     recv_timeout: float = 120.0,
     wall_timeout: float = 600.0,
     fault_plan: "FaultPlan | None" = None,
+    backend: str | None = None,
+    workers: int | None = None,
 ) -> SpmdResult:
     """Run ``fn(ctx, *args, **kwargs)`` on every rank of ``cluster``.
 
@@ -237,6 +343,13 @@ def spmd_run(
             installed on the fabric before any rank starts; rank programs
             reach it via ``ctx.fault_plan`` (checkpoint/restart loops
             consume its crash events).
+        backend: ``"threads"`` (default) or ``"processes"``; ``None``
+            consults the ``REPRO_SPMD_BACKEND`` environment variable.
+            Virtual makespans are bit-identical across backends.
+            Single-rank runs execute inline on either backend.
+        workers: Process-backend worker-process count (``None``: the
+            ``REPRO_SPMD_WORKERS`` environment variable, else CPU count).
+            Ignored by the thread backend.
 
     Returns:
         :class:`SpmdResult` with per-rank return values, final virtual
@@ -246,14 +359,31 @@ def spmd_run(
         The first per-rank exception (sibling ranks are woken and drained),
         or :class:`DeadlockError` if ranks block past the watchdog.
     """
-    from repro.comm.communicator import SimComm
     from repro.comm.fabric import Fabric
 
     if kwargs is None:
         kwargs = {}
+    backend = resolve_backend(backend)
     nranks = cluster.num_nodes * ranks_per_node
     if nranks <= 0:
         raise ValidationError("cluster must yield at least one rank")
+    if backend == "processes" and nranks > 1:
+        from repro.sim.procpool import spmd_run_processes
+
+        return spmd_run_processes(
+            fn,
+            cluster,
+            ranks_per_node=ranks_per_node,
+            args=args,
+            kwargs=kwargs,
+            trace=trace,
+            recorder_factory=recorder_factory,
+            device_factory=device_factory,
+            recv_timeout=recv_timeout,
+            wall_timeout=wall_timeout,
+            fault_plan=fault_plan,
+            workers=workers,
+        )
 
     fabric = Fabric(cluster, ranks_per_node=ranks_per_node)
     if fault_plan is not None:
@@ -271,41 +401,22 @@ def spmd_run(
     failure_lock = threading.Lock()
 
     def rank_main(rank: int) -> None:
-        clock = VirtualClock()
-        comm = SimComm(fabric, rank, clock, trace=traces[rank], recv_timeout=recv_timeout)
-        ctx = RankContext(
-            rank=rank,
-            size=nranks,
-            node_index=fabric.node_of(rank),
-            node=cluster.node,
-            cluster=cluster,
-            clock=clock,
-            comm=comm,
-            trace=traces[rank],
-            fault_plan=fault_plan,
-        )
         try:
-            if device_factory is not None:
-                ctx.devices = list(device_factory(ctx))
-            values[rank] = fn(ctx, *args, **kwargs)
-            times[rank] = clock.now
-        except CommunicationError as exc:
-            with failure_lock:
-                if fabric._abort_exc is not None and fabric._abort_exc is not exc:
-                    # Merely woken by another rank's abort: record a marker
-                    # only if nothing else has been recorded.
-                    if not failures:
-                        failures.append(
-                            _RankFailure(rank, DeadlockError(f"rank {rank} stuck"))
-                        )
-                else:
-                    # A genuine communication error in this rank's program.
-                    failures.append(_RankFailure(rank, exc))
-                    fabric.abort(exc)
+            values[rank], times[rank] = run_one_rank(
+                fabric,
+                rank,
+                nranks,
+                cluster,
+                fn,
+                args,
+                kwargs,
+                traces[rank],
+                device_factory,
+                recv_timeout,
+                fault_plan,
+            )
         except BaseException as exc:  # noqa: BLE001 - must not lose rank errors
-            with failure_lock:
-                failures.append(_RankFailure(rank, exc))
-            fabric.abort(exc)
+            record_rank_failure(fabric, rank, exc, failures, failure_lock)
 
     if nranks == 1:
         # Fast path: run inline (keeps single-rank tests easy to debug).
@@ -337,10 +448,11 @@ def spmd_run(
             )
 
     if failures:
-        # Prefer a genuine exception over "stuck" markers from sibling
-        # ranks that were merely woken by the fabric abort.
-        real = [f for f in failures if not isinstance(f.exc, DeadlockError)]
-        first = min(real or failures, key=lambda f: f.rank)
-        raise first.exc
+        raise select_failure(failures).exc
+
+    if traces and traces[0].enabled:
+        stats = _pool.stats()
+        traces[0].gauge("rank_pool.spawned", stats["spawned"])
+        traces[0].gauge("rank_pool.idle", stats["idle"])
 
     return SpmdResult(values=values, times=times, traces=traces)

@@ -1,0 +1,208 @@
+"""Round-trips through the cross-process payload wire protocol.
+
+The process backend's virtual-time bit-identity rests on payloads crossing
+the worker boundary *losslessly*: same data, same charged nbytes, same
+read-only delivery semantics.  These tests drive every encoding — shared
+memory, inline bytes, pickled objects, the ``None`` singleton — through
+``encode_payload``/``decode_payload`` in one process and check the decoded
+payload is indistinguishable from the thread backend's original.
+"""
+
+import numpy as np
+import pytest
+
+from repro.comm.payload import Payload, make_payload, none_payload
+from repro.comm.wire import (
+    KIND_INLINE,
+    KIND_NONE,
+    KIND_OBJECT,
+    KIND_SHM,
+    ShmRegistry,
+    decode_payload,
+    discard_record,
+    encode_payload,
+    set_shm_threshold,
+    shm_threshold,
+)
+
+
+@pytest.fixture
+def registry():
+    reg = ShmRegistry()
+    yield reg
+    reg.release_all()
+
+
+@pytest.fixture
+def force_shm():
+    """Route every array payload through shared memory."""
+    prev = set_shm_threshold(1)
+    yield
+    set_shm_threshold(prev)
+
+
+@pytest.fixture
+def force_inline():
+    """Route every array payload through inline bytes."""
+    prev = set_shm_threshold(1 << 40)
+    yield
+    set_shm_threshold(prev)
+
+
+def _roundtrip(payload, registry):
+    return decode_payload(encode_payload(payload), registry)
+
+
+# -- arrays: both transports --------------------------------------------------
+
+@pytest.mark.parametrize("transport", ["shm", "inline"])
+def test_array_roundtrip_preserves_everything(transport, registry):
+    prev = set_shm_threshold(1 if transport == "shm" else 1 << 40)
+    try:
+        arr = np.arange(48, dtype=np.float64).reshape(6, 8)
+        payload = make_payload(arr)
+        out = _roundtrip(payload, registry)
+        assert out.is_array
+        assert out.nbytes == payload.nbytes == arr.nbytes
+        assert out.data.dtype == arr.dtype
+        assert out.data.shape == arr.shape
+        np.testing.assert_array_equal(out.data, arr)
+        # Receivers must not be able to corrupt in-flight state.
+        assert not out.data.flags.writeable
+        with pytest.raises((ValueError, RuntimeError)):
+            out.data[0, 0] = 99.0
+    finally:
+        set_shm_threshold(prev)
+
+
+def test_transport_choice_follows_threshold(registry):
+    small = make_payload(np.zeros(4))
+    big = make_payload(np.zeros(shm_threshold() // 8 + 16))
+    assert encode_payload(small)[0] == KIND_INLINE
+    rec = encode_payload(big)
+    assert rec[0] == KIND_SHM
+    decode_payload(rec, registry)  # adopt so the fixture's sweep unlinks it
+
+
+def test_shm_decode_is_zero_copy_view(registry, force_shm):
+    arr = np.arange(1000, dtype=np.float32)
+    out = _roundtrip(make_payload(arr), registry)
+    # The decoded array is a view over the mapped segment, not an owner.
+    assert not out.data.flags.owndata
+    assert len(registry) == 1
+    np.testing.assert_array_equal(out.data, arr)
+
+
+def test_shm_decode_requires_registry(force_shm):
+    rec = encode_payload(make_payload(np.zeros(64)))
+    with pytest.raises(Exception, match="ShmRegistry"):
+        decode_payload(rec, None)
+    discard_record(rec)
+
+
+def test_noncontiguous_view_is_compacted(registry, force_shm):
+    base = np.arange(100, dtype=np.float64).reshape(10, 10)
+    col = base[:, 3]  # stride != itemsize
+    payload = make_payload(col)
+    out = _roundtrip(payload, registry)
+    np.testing.assert_array_equal(out.data, base[:, 3])
+    assert out.data.flags.c_contiguous
+    assert out.nbytes == col.nbytes
+
+
+def test_owned_view_roundtrips(registry, force_inline):
+    """``owned=True`` payloads (zero-copy framework sends) still ship."""
+    buf = np.full(32, 7.0)
+    payload = make_payload(buf, owned=True)
+    assert payload.data.base is buf or payload.data is buf  # no copy made
+    out = _roundtrip(payload, registry)
+    np.testing.assert_array_equal(out.data, buf)
+
+
+def test_charged_nbytes_survives_override(registry, force_inline):
+    """A payload whose charged size differs from its buffer size (benchmarks
+    send scaled-down functional arrays priced at paper scale)."""
+    arr = np.zeros(8)
+    payload = Payload(data=arr, nbytes=10**9, is_array=True)
+    out = _roundtrip(payload, registry)
+    assert out.nbytes == 10**9
+    assert out.data.nbytes == arr.nbytes
+
+
+def test_empty_array_roundtrip(registry, force_shm):
+    # Zero-byte arrays cannot ride shared memory (size must be > 0);
+    # they fall through to the inline path even below the threshold.
+    payload = make_payload(np.zeros(0))
+    rec = encode_payload(payload)
+    assert rec[0] == KIND_INLINE
+    out = decode_payload(rec, registry)
+    assert out.data.shape == (0,)
+
+
+# -- None singleton -----------------------------------------------------------
+
+def test_none_payload_decodes_to_singleton(registry):
+    payload = make_payload(None)
+    rec = encode_payload(payload)
+    assert rec == (KIND_NONE,)
+    assert decode_payload(rec, registry) is none_payload()
+    assert decode_payload(rec, registry).nbytes == payload.nbytes
+
+
+# -- object payloads ----------------------------------------------------------
+
+def test_object_roundtrip(registry):
+    obj = {"iter": 3, "centroids": np.arange(6.0).reshape(2, 3), "tags": ("a", "b")}
+    payload = make_payload(obj)
+    rec = encode_payload(payload)
+    assert rec[0] == KIND_OBJECT
+    out = decode_payload(rec, registry)
+    assert not out.is_array
+    assert out.nbytes == payload.nbytes
+    assert out.data["iter"] == 3
+    assert out.data["tags"] == ("a", "b")
+    np.testing.assert_array_equal(out.data["centroids"], obj["centroids"])
+
+
+def test_arrays_inside_objects_are_refrozen(registry):
+    """Pickle loses ``writeable=False``; the decoder must restore it."""
+    obj = [np.ones(4), {"k": np.zeros((2, 2))}, (np.arange(3),)]
+    out = decode_payload(encode_payload(make_payload(obj)), registry)
+    assert not out.data[0].flags.writeable
+    assert not out.data[1]["k"].flags.writeable
+    assert not out.data[2][0].flags.writeable
+
+
+def test_scalar_roundtrip(registry):
+    out = decode_payload(encode_payload(make_payload(3.25)), registry)
+    assert out.data == 3.25
+
+
+# -- lifecycle ----------------------------------------------------------------
+
+def test_registry_release_unlinks_segments(force_shm):
+    reg = ShmRegistry()
+    recs = [encode_payload(make_payload(np.arange(64.0))) for _ in range(3)]
+    views = [decode_payload(r, reg) for r in recs]
+    assert len(reg) == 3
+    del views
+    assert reg.release_all() == 3
+    assert len(reg) == 0
+
+
+def test_discard_record_unlinks_undecoded_shm(force_shm):
+    from multiprocessing import shared_memory
+
+    rec = encode_payload(make_payload(np.arange(64.0)))
+    name = rec[1]
+    discard_record(rec)
+    with pytest.raises(FileNotFoundError):
+        shared_memory.SharedMemory(name=name)
+    discard_record(rec)  # idempotent
+
+
+def test_set_threshold_validates():
+    from repro.util.errors import ValidationError
+
+    with pytest.raises(ValidationError):
+        set_shm_threshold(-1)

@@ -1,0 +1,235 @@
+"""The process-parallel SPMD backend: bit-identical, fault-correct, robust.
+
+Every test forces ``workers`` > 1 so the cross-worker bridge (shared-memory
+payloads, per-pair record sockets, abort relay, fault-plan merge-back) is
+genuinely exercised even on single-core hosts — worker count affects only
+wall-clock parallelism, never virtual time, so the pinned thread-backend
+makespans from ``test_many_ranks`` double as the equivalence oracle here.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.apps import heat3d, kmeans
+from repro.apps.baselines import mpi_kmeans
+from repro.apps.heat3d import Heat3DConfig
+from repro.apps.heat3d import rank_program as heat3d_program
+from repro.cluster.presets import laptop_cluster, ohio_cluster
+from repro.faults.plan import FaultPlan, RankCrash
+from repro.sim.engine import spmd_run
+from repro.sim.procpool import partition_ranks, process_pool_stats, resolve_workers
+from repro.util.errors import DeadlockError, ValidationError
+
+# Pinned thread-backend makespans (see tests/integration/test_many_ranks.py);
+# the process backend must reproduce them bit-for-bit.
+SEED_384_RANK_MAKESPAN = "0.11349894073290369"
+SEED_FAULTY_RELIABLE_MAKESPAN = "0.27536852547664836"
+
+
+def _ring(ctx):
+    n = ctx.size
+    data = np.full(9000, float(ctx.rank))  # 72 KB: rides shared memory
+    ctx.comm.send(data, (ctx.rank + 1) % n, tag=7)
+    got = ctx.comm.recv(source=(ctx.rank - 1) % n, tag=7)
+    ctx.comm.send("token", (ctx.rank + 1) % n, tag=8)  # pickle path
+    tok = ctx.comm.recv(source=(ctx.rank - 1) % n, tag=8)
+    assert tok == "token"
+    return float(np.asarray(got).sum())
+
+
+# -- equivalence oracle -------------------------------------------------------
+
+def test_results_match_thread_backend_exactly():
+    cluster = laptop_cluster(num_nodes=6)
+    threads = spmd_run(_ring, cluster, ranks_per_node=2, backend="threads")
+    procs = spmd_run(_ring, cluster, ranks_per_node=2, backend="processes", workers=3)
+    assert procs.values == threads.values
+    assert procs.times == threads.times
+    assert repr(procs.makespan) == repr(threads.makespan)
+
+
+def test_384_rank_kmeans_is_bit_identical_on_process_backend():
+    run = mpi_kmeans.run(
+        ohio_cluster(32),
+        kmeans.KmeansConfig(functional_points=96_000, iterations=2),
+        backend="processes",
+        workers=4,
+    )
+    assert repr(run.makespan) == SEED_384_RANK_MAKESPAN
+
+
+def test_faulty_reliable_run_is_bit_identical_on_process_backend():
+    plan = FaultPlan.lossy(seed=7, drop=0.08, dup=0.05, delay=0.1, max_delay=5e-4)
+    run = heat3d.run(
+        ohio_cluster(4),
+        heat3d.Heat3DConfig(functional_shape=(24, 24, 24), simulated_steps=4),
+        reliable=True,
+        fault_plan=plan,
+        backend="processes",
+        workers=2,
+    )
+    assert repr(run.makespan) == SEED_FAULTY_RELIABLE_MAKESPAN
+    # Fault activity on worker replicas is merged back to the caller's plan.
+    assert plan.stats.decisions > 0
+    assert plan.stats.drops > 0
+
+
+def test_backend_env_variable_selects_processes(monkeypatch):
+    monkeypatch.setenv("REPRO_SPMD_BACKEND", "processes")
+    monkeypatch.setenv("REPRO_SPMD_WORKERS", "2")
+    cluster = laptop_cluster(num_nodes=4)
+    res = spmd_run(_ring, cluster)
+    baseline = spmd_run(_ring, cluster, backend="threads")
+    assert res.times == baseline.times
+
+
+def test_unknown_backend_rejected():
+    with pytest.raises(ValidationError, match="unknown SPMD backend"):
+        spmd_run(_ring, laptop_cluster(num_nodes=2), backend="gpu")
+
+
+# -- faults cross-process -----------------------------------------------------
+
+HEAT_CFG = Heat3DConfig(functional_shape=(24, 24, 24), simulated_steps=6)
+LOSSY = dict(drop=0.15, dup=0.1, delay=0.1, max_delay=3e-4)
+
+
+def _heat(plan=None, backend="threads", workers=None, **kw):
+    return spmd_run(
+        heat3d_program,
+        laptop_cluster(num_nodes=4),
+        args=(HEAT_CFG, "cpu"),
+        kwargs=kw,
+        fault_plan=plan,
+        backend=backend,
+        workers=workers,
+    )
+
+
+def test_crash_recovery_spans_workers_and_merges_stats():
+    clean = _heat()
+    crash_at = clean.makespan * 0.5
+    plan = FaultPlan.lossy(
+        seed=11, **LOSSY, crashes=[RankCrash(rank=1, at_time=crash_at, restart_cost=0.005)]
+    )
+    res = _heat(plan, backend="processes", workers=2, reliable=True, checkpoint_every=2)
+    oracle_plan = FaultPlan.lossy(
+        seed=11, **LOSSY, crashes=[RankCrash(rank=1, at_time=crash_at, restart_cost=0.005)]
+    )
+    oracle = _heat(oracle_plan, reliable=True, checkpoint_every=2)
+    assert res.times == oracle.times
+    np.testing.assert_array_equal(res.values[0]["grid"], oracle.values[0]["grid"])
+    assert res.values[1]["recoveries"] == 1
+    # The crash was consumed inside a worker process, yet the caller's
+    # plan object reflects it (consumed flag + stats merge-back).
+    assert plan.stats.crashes_consumed == 1
+    assert plan.crashes[0].consumed
+    assert plan.stats.drops == oracle_plan.stats.drops
+    assert plan.stats.duplicates == oracle_plan.stats.duplicates
+
+
+# -- failure and watchdog semantics ------------------------------------------
+
+def test_remote_rank_exception_propagates():
+    def prog(ctx):
+        if ctx.rank == 3:
+            raise ValueError("injected in worker")
+        ctx.comm.recv(source=3, tag=0)
+
+    with pytest.raises(ValueError, match="injected in worker"):
+        spmd_run(
+            prog,
+            laptop_cluster(num_nodes=8),
+            backend="processes",
+            workers=2,
+            recv_timeout=20,
+            wall_timeout=30,
+        )
+
+
+def test_cross_worker_deadlock_detected():
+    def prog(ctx):
+        if ctx.rank == 0:
+            return None  # never enters the barrier
+        ctx.comm.barrier()
+
+    with pytest.raises(DeadlockError):
+        spmd_run(
+            prog,
+            laptop_cluster(num_nodes=2),
+            backend="processes",
+            workers=2,
+            recv_timeout=0.3,
+            wall_timeout=10,
+        )
+
+
+def test_wedged_worker_is_abandoned_and_pool_recovers():
+    def prog(ctx):
+        if ctx.rank == 1:
+            time.sleep(60)  # wall-clock wedge: ignores the fabric abort
+        else:
+            ctx.comm.barrier()
+
+    before = process_pool_stats()
+    with pytest.raises(DeadlockError, match="wall timeout"):
+        spmd_run(
+            prog,
+            laptop_cluster(num_nodes=2),
+            backend="processes",
+            workers=2,
+            recv_timeout=30,
+            wall_timeout=2,
+        )
+    after = process_pool_stats()
+    assert after["abandoned"] > before["abandoned"]
+    # The next run spawns replacement workers and completes normally.
+    res = spmd_run(_ring, laptop_cluster(num_nodes=2), backend="processes", workers=2)
+    baseline = spmd_run(_ring, laptop_cluster(num_nodes=2), backend="threads")
+    assert res.times == baseline.times
+
+
+# -- observability ------------------------------------------------------------
+
+def test_pool_gauges_exposed_on_trace():
+    res = spmd_run(
+        _ring,
+        laptop_cluster(num_nodes=4),
+        backend="processes",
+        workers=2,
+        trace=True,
+    )
+    gauges = res.traces[0].gauges
+    assert gauges["proc_pool.workers"] == 2
+    assert gauges["rank_pool.spawned"] >= 1
+    thread_res = spmd_run(_ring, laptop_cluster(num_nodes=4), backend="threads", trace=True)
+    assert thread_res.traces[0].gauges["rank_pool.spawned"] >= 1
+
+
+# -- packing and worker resolution -------------------------------------------
+
+def test_partition_ranks_contiguous_and_balanced():
+    blocks = partition_ranks(10, 3)
+    assert [list(b) for b in blocks] == [[0, 1, 2, 3], [4, 5, 6], [7, 8, 9]]
+    assert partition_ranks(4, 4) == [range(0, 1), range(1, 2), range(2, 3), range(3, 4)]
+
+
+def test_resolve_workers_precedence(monkeypatch):
+    monkeypatch.delenv("REPRO_SPMD_WORKERS", raising=False)
+    assert resolve_workers(3, 100) == 3
+    assert resolve_workers(8, 4) == 4  # capped at rank count
+    monkeypatch.setenv("REPRO_SPMD_WORKERS", "5")
+    assert resolve_workers(None, 100) == 5
+    with pytest.raises(ValidationError):
+        resolve_workers(0, 4)
+
+
+def test_single_worker_falls_back_to_threads():
+    """workers=1 routes through the thread backend (identical results,
+    no bridge overhead) — the default on single-core hosts."""
+    res = spmd_run(_ring, laptop_cluster(num_nodes=2), backend="processes", workers=1)
+    baseline = spmd_run(_ring, laptop_cluster(num_nodes=2), backend="threads")
+    assert res.times == baseline.times
+    assert repr(res.makespan) == repr(baseline.makespan)

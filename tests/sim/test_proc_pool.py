@@ -1,0 +1,38 @@
+"""Unit tests for SPMD backend selection and the worker-pool surface."""
+
+import pytest
+
+from repro.sim import BACKENDS, process_pool_stats, rank_pool_stats, resolve_backend
+from repro.util.errors import ValidationError
+
+
+def test_backends_tuple():
+    assert BACKENDS == ("threads", "processes")
+
+
+def test_resolve_backend_default_is_threads(monkeypatch):
+    monkeypatch.delenv("REPRO_SPMD_BACKEND", raising=False)
+    assert resolve_backend(None) == "threads"
+
+
+def test_resolve_backend_env(monkeypatch):
+    monkeypatch.setenv("REPRO_SPMD_BACKEND", "processes")
+    assert resolve_backend(None) == "processes"
+    # An explicit argument beats the environment.
+    assert resolve_backend("threads") == "threads"
+
+
+def test_resolve_backend_rejects_unknown(monkeypatch):
+    with pytest.raises(ValidationError, match="unknown SPMD backend"):
+        resolve_backend("fibers")
+    monkeypatch.setenv("REPRO_SPMD_BACKEND", "bogus")
+    with pytest.raises(ValidationError, match="unknown SPMD backend"):
+        resolve_backend(None)
+
+
+def test_pool_stats_shapes():
+    rp = rank_pool_stats()
+    assert set(rp) == {"spawned", "idle"}
+    pp = process_pool_stats()
+    assert set(pp) == {"workers", "spawned", "abandoned", "runs"}
+    assert all(isinstance(v, int) for v in pp.values())
