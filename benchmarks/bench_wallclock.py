@@ -20,7 +20,8 @@ Each timed case reports:
 - ``makespan``   — the virtual makespan of the same run (regression canary)
 
 plus micro-benchmarks isolating the paths this harness exists to watch:
-the stencil step loop (Sobel/Heat3D), the irregular-reduction step loop
+the stencil step loop (Sobel/Heat3D), the fused stencil+reduce
+convergence loop (Jacobi2D), the irregular-reduction step loop
 (Moldyn/MiniMD), the Kmeans emit path, the comm-fabric ping-pong hot
 path, and the 384-rank per-core MPI baseline (``baseline_ranks``).
 """
@@ -37,6 +38,7 @@ from pathlib import Path
 import numpy as np
 
 from repro.apps import heat3d, kmeans, minimd, moldyn, sobel
+from repro.apps.extra import jacobi2d
 from repro.cluster.presets import ohio_cluster
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
@@ -65,6 +67,12 @@ def _configs(mode: str) -> dict:
             # case exists to watch (fewer repeats keep CI latency flat).
             "moldyn_steps": moldyn.MoldynConfig(simulated_steps=8),
             "minimd_steps": minimd.MiniMDConfig(simulated_steps=8),
+            # Convergence loop: small grid + loose tol keeps the iteration
+            # count (and CI latency) modest while still exercising the
+            # fused-residual / speculative-halo path for dozens of steps.
+            "stencil_converge": jacobi2d.Jacobi2DConfig(
+                shape=(32, 32), tol=1e-3, max_iters=200
+            ),
             "ir_step_repeats": 2,
             "nodes": 4,
             # Comm-fabric cases: a 2-rank ping-pong isolating the
@@ -88,6 +96,7 @@ def _configs(mode: str) -> dict:
         "heat3d_steps": heat3d.Heat3DConfig(simulated_steps=20),
         "moldyn_steps": moldyn.MoldynConfig(simulated_steps=10),
         "minimd_steps": minimd.MiniMDConfig(simulated_steps=10),
+        "stencil_converge": jacobi2d.Jacobi2DConfig(),
         "nodes": 4,
         "pingpong_msgs": 5_000,
         "baseline_ranks_nodes": 32,
@@ -166,6 +175,29 @@ def bench_stencil_steps(cfg: dict) -> dict:
             "makespan": makespan,
         }
     return out
+
+
+def bench_stencil_converge(cfg: dict) -> dict:
+    """Isolate the fused stencil+reduce convergence loop (Jacobi2D).
+
+    Watches the ``run_until`` hot path: the in-sweep residual, the
+    speculative next-step halo exchange, and the coalesced per-neighbour
+    messages.  The makespan pins the overlap accounting; the iteration
+    count is recorded so a convergence change (different stop point) is
+    distinguishable from a pure wall-clock regression.
+    """
+    cluster = ohio_cluster(cfg["nodes"])
+    config = cfg["stencil_converge"]
+    wall, run = _best_of(
+        cfg["step_repeats"], lambda: jacobi2d.run(cluster, config, mix="cpu+2gpu")
+    )
+    return {
+        "stencil_converge": {
+            "wall_s": round(wall, 4),
+            "makespan": run.makespan,
+            "iterations": run.spmd.values[0]["iterations"],
+        }
+    }
 
 
 def bench_ir_steps(cfg: dict) -> dict:
@@ -382,6 +414,7 @@ def collect(mode: str) -> dict:
     }
     record["cases"].update(bench_apps(cfg))
     record["cases"].update(bench_stencil_steps(cfg))
+    record["cases"].update(bench_stencil_converge(cfg))
     record["cases"].update(bench_ir_steps(cfg))
     record["cases"].update(bench_kmeans_emit(cfg))
     # The 5%-gated obs case runs before the 384-thread fabric cases so the

@@ -18,10 +18,14 @@ substantiating that coverage claim:
 - :mod:`~repro.apps.extra.hotspot` — Rodinia's HotSpot thermal simulation:
   a stencil whose update reads a static power-map coefficient field (the
   SII-C extension in a real benchmark).
+- :mod:`~repro.apps.extra.jacobi2d` — a Jacobi/Poisson solver iterating
+  *until convergence*: the fused stencil+reduce pattern (per-step
+  residual produced inside the sweep, combined overlapping the next halo
+  exchange).
 
 Each module carries a NumPy (and, for the graph apps, a networkx) oracle.
 """
 
-from repro.apps.extra import hotspot, pagerank, srad, sssp
+from repro.apps.extra import hotspot, jacobi2d, pagerank, srad, sssp
 
-__all__ = ["pagerank", "sssp", "srad", "hotspot"]
+__all__ = ["pagerank", "sssp", "srad", "hotspot", "jacobi2d"]

@@ -3,8 +3,12 @@
 Exercises the multi-pattern composition the paper's coverage claim rests
 on.  Each iteration of Rodinia's SRAD is:
 
-1. a **generalized reduction** over the image for the ROI statistics
-   (mean and variance give the speckle scale ``q0^2``), then
+1. a **global reduction** over the image for the ROI statistics (mean
+   and variance give the speckle scale ``q0^2``) — here *fused into the
+   sweep* via the stencil+reduce runtime: every step's statistics are
+   produced by the kernel pass itself and combined while the next halo
+   exchange is in flight, so no iteration pays a separate stats pass
+   (only the first step primes from the initial image), then
 2. two stencil passes: a diffusion-coefficient field ``c`` from the
    local gradients, then the image update from ``c`` at the east/south
    neighbours.
@@ -23,7 +27,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.core.api import GRKernel, StencilKernel, shifted
+from repro.core.api import StencilKernel, shifted
 from repro.core.env import DeviceConfig, RuntimeEnv
 from repro.data.grids import synthetic_image
 from repro.device.work import WorkModel
@@ -47,14 +51,8 @@ class SradConfig:
             raise ValidationError("lam must be in (0, 1]")
 
 
-def stats_work() -> WorkModel:
-    return WorkModel(
-        name="srad.stats",
-        flops_per_elem=4.0,
-        bytes_per_elem=8.0,
-        atomics_per_elem=1.0,
-        num_reduction_keys=1,
-    )
+#: Per-element flops of the fused (sum, sum-of-squares) accumulation.
+STATS_FUSED_FLOPS = 3.0
 
 
 def update_work() -> WorkModel:
@@ -102,41 +100,52 @@ def make_update_kernel(lam: float) -> StencilKernel:
     return StencilKernel(apply=apply, halo=2, work=update_work())
 
 
-def stats_emit(obj, pixels: np.ndarray, start: int, _param) -> None:
-    """gr_emit_fp: accumulate (sum, sum of squares, count) under one key."""
-    flat = pixels.reshape(len(pixels), -1).sum(axis=1)
-    sq = (pixels.reshape(len(pixels), -1) ** 2).sum(axis=1)
-    n = pixels.reshape(len(pixels), -1).shape[1]
-    obj.insert_many(
-        np.zeros(len(pixels), dtype=np.int64),
-        np.column_stack([flat, sq, np.full(len(pixels), float(n))]),
-    )
+def _q0_sq_from_stats(total: float, total_sq: float, count: float) -> float:
+    """Rodinia's speckle scale from the ROI sum / sum-of-squares."""
+    mean = total / count
+    var = total_sq / count - mean * mean
+    return max(var / max(mean * mean, 1e-12), 1e-12)
 
 
 def rank_program(
     ctx: RankContext, config: SradConfig, mix: str | DeviceConfig = "cpu"
 ) -> np.ndarray | None:
-    """SPMD body: GR statistics + fused diffusion stencil per iteration."""
+    """SPMD body: fused statistics + diffusion stencil per iteration.
+
+    The norm loop runs on the fused stencil+reduce runtime: each sweep
+    also produces the local (sum, sum of squares) of the *new* image, and
+    the combine — overlapping the next step's halo exchange — yields the
+    global statistics that set ``q0^2`` for the following step.  Only the
+    very first step's statistics (of the initial image, before any sweep
+    exists to fuse into) need a standalone priming reduction.
+    """
     image = synthetic_image(config.shape, seed=config.seed).astype(np.float64) + 0.05
 
     env = RuntimeEnv(ctx, mix)
-    st = env.get_stencil()
+    st = env.get_stencil_reduce(reduce_flops=STATS_FUSED_FLOPS)
     st.configure(make_update_kernel(config.lam), config.shape)
     st.set_global_grid(image)
 
-    gr = env.get_GR()
-    gr.set_kernel(GRKernel(stats_emit, "sum", 1, 3, stats_work()))
+    count = float(np.prod(config.shape))
+    local = st.local_interior()
+    primed = env.comm.allreduce(
+        np.array([local.sum(), (local**2).sum()]), op="sum"
+    )
+    st.set_parameter(_q0_sq_from_stats(float(primed[0]), float(primed[1]), count))
 
-    for _ in range(config.iterations):
-        rows = st.local_interior()
-        gr.set_input(rows)
-        gr.start()
-        total, total_sq, count = gr.get_global_reduction()[0]
-        mean = total / count
-        var = total_sq / count - mean * mean
-        q0_sq = max(var / max(mean * mean, 1e-12), 1e-12)
-        st.set_parameter(q0_sq)
-        st.step()
+    def stats_fn(_old: np.ndarray, new: np.ndarray) -> np.ndarray:
+        return np.array([new.sum(), (new**2).sum()])
+
+    def on_stats(stats: np.ndarray) -> None:
+        st.set_parameter(_q0_sq_from_stats(float(stats[0]), float(stats[1]), count))
+
+    st.run_until(
+        max_iters=config.iterations,
+        tol=None,  # fixed iteration count, like Rodinia
+        reduce_fn=stats_fn,
+        residual_fn=lambda stats: float(stats[0]),
+        on_value=on_stats,
+    )
 
     env.finalize()
     return st.gather_global()

@@ -123,6 +123,9 @@ def rank_program(
     tiling: bool = True,
     reliable: bool = False,
     checkpoint_every: int | None = None,
+    adaptive: bool = True,
+    until_tol: float | None = None,
+    max_iters: int | None = None,
 ) -> dict:
     """SPMD body: run ``simulated_steps`` stencil steps, report per-step times.
 
@@ -136,13 +139,23 @@ def rank_program(
     the step loop through a :class:`~repro.core.checkpoint.CheckpointManager`
     (snapshot cadence in iterations) so an injected rank crash recovers
     from the last checkpoint instead of failing the run.
+
+    ``until_tol`` switches to the convergence-driven variant: a fused
+    stencil+reduce loop (:class:`~repro.core.stencil_reduce.
+    StencilReduceRuntime`) that stops once the L2 norm of the step update
+    drops to the tolerance, or after ``max_iters`` (default:
+    ``config.iterations``).  Every simulated step is then a real step —
+    no extrapolation — and the result carries the residual history.
     """
     if reliable:
         from repro.comm.reliable import ReliableComm
 
         ctx.comm = ReliableComm(ctx.comm)
     env = RuntimeEnv(ctx, mix)
-    st = env.get_stencil(overlap=overlap, tiling=tiling)
+    if until_tol is not None:
+        st = env.get_stencil_reduce(overlap=overlap, tiling=tiling, adaptive=adaptive)
+    else:
+        st = env.get_stencil(overlap=overlap, tiling=tiling, adaptive=adaptive)
     st.configure(
         make_kernel(ctx.node),
         config.functional_shape,
@@ -150,8 +163,33 @@ def rank_program(
         parameter=ALPHA,
     )
     st.set_global_grid(heat3d_initial(config.functional_shape, seed=config.seed))
-    step_times: list[float] = []
     recoveries = 0
+
+    if until_tol is not None:
+        mgr = None
+        if checkpoint_every is not None:
+            from repro.core.checkpoint import CheckpointManager
+
+            mgr = CheckpointManager(ctx, every=checkpoint_every)
+        res = st.run_until(
+            max_iters=max_iters if max_iters is not None else config.iterations,
+            tol=until_tol,
+            checkpoint=mgr,
+        )
+        grid = st.gather_global()
+        env.finalize()
+        if reliable:
+            ctx.comm.flush()
+        return {
+            "steps": [],
+            "grid": grid,
+            "recoveries": 0 if mgr is None else mgr.recoveries,
+            "iterations": res.iterations,
+            "residuals": res.residuals,
+            "converged": res.converged,
+        }
+
+    step_times: list[float] = []
 
     def one_step(_it: int) -> None:
         t0 = ctx.clock.now
@@ -185,9 +223,18 @@ def run(
     tiling: bool = True,
     reliable: bool = False,
     checkpoint_every: int | None = None,
+    adaptive: bool = True,
+    until_tol: float | None = None,
+    max_iters: int | None = None,
     **spmd_kwargs,
 ) -> AppRun:
-    """Run Heat3D and report the extrapolated full-run makespan."""
+    """Run Heat3D and report the extrapolated full-run makespan.
+
+    With ``until_tol`` the run is convergence-driven: the makespan is the
+    loop's actual virtual time (every iteration really runs; nothing to
+    extrapolate) and the sequential baseline is scaled to the iteration
+    count the loop took.
+    """
     config = config or Heat3DConfig()
     result = spmd_run(
         rank_program,
@@ -198,14 +245,22 @@ def run(
             "tiling": tiling,
             "reliable": reliable,
             "checkpoint_every": checkpoint_every,
+            "adaptive": adaptive,
+            "until_tol": until_tol,
+            "max_iters": max_iters,
         },
         **spmd_kwargs,
     )
-    per_rank_totals = [
-        extrapolate_steps(v["steps"], config.iterations) for v in result.values
-    ]
-    makespan = max(per_rank_totals)
-    seq = sequential_time(base_work(), config.n_elems, cluster.node, config.iterations)
+    if until_tol is not None:
+        makespan = result.makespan
+        iterations = result.values[0]["iterations"]
+    else:
+        per_rank_totals = [
+            extrapolate_steps(v["steps"], config.iterations) for v in result.values
+        ]
+        makespan = max(per_rank_totals)
+        iterations = config.iterations
+    seq = sequential_time(base_work(), config.n_elems, cluster.node, iterations)
     return AppRun(
         app="heat3d",
         mix=mix if isinstance(mix, str) else mix.label(),

@@ -120,6 +120,21 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="disable communication/computation overlap (Moldyn/MiniMD/stencils)",
     )
+    run_p.add_argument(
+        "--until-tol",
+        type=float,
+        default=None,
+        metavar="TOL",
+        help="heat3d only: iterate until the L2 step-update norm drops to TOL "
+        "(fused stencil+reduce loop) instead of a fixed step count",
+    )
+    run_p.add_argument(
+        "--max-iters",
+        type=int,
+        default=None,
+        metavar="N",
+        help="iteration cap for --until-tol (default: the app's iteration count)",
+    )
     flt = run_p.add_argument_group(
         "fault injection (heat3d and kmeans; runs over the reliable comm layer)"
     )
@@ -302,6 +317,14 @@ def cmd_run(args: argparse.Namespace) -> str:
         kwargs["workers"] = args.workers
     if args.app in ("moldyn", "minimd", "sobel", "heat3d") and args.no_overlap:
         kwargs["overlap"] = False
+    if args.until_tol is not None:
+        if args.app != "heat3d":
+            raise SystemExit("--until-tol is only supported for heat3d")
+        kwargs["until_tol"] = args.until_tol
+        if args.max_iters is not None:
+            kwargs["max_iters"] = args.max_iters
+    elif args.max_iters is not None:
+        raise SystemExit("--max-iters requires --until-tol")
     plan = None
     if args.fault_seed is not None:
         from repro.faults import FaultPlan, RankCrash
@@ -344,6 +367,14 @@ def cmd_run(args: argparse.Namespace) -> str:
         f"  sequential time: {fmt_seconds(run.seq_time)} (modeled, 1 core)",
         f"  speedup        : {run.speedup:.1f}x",
     ]
+    if args.until_tol is not None:
+        rank0 = run.spmd.values[0]
+        final = rank0["residuals"][-1] if rank0["residuals"] else float("nan")
+        lines.append(
+            f"  convergence    : {rank0['iterations']} iteration(s), "
+            f"residual {final:.3e} (tol {args.until_tol:.3e}, "
+            f"{'converged' if rank0['converged'] else 'hit the iteration cap'})"
+        )
     if plan is not None:
         s = plan.stats
         lines.append(

@@ -44,6 +44,7 @@ from repro.core.env import RuntimeEnv, DeviceConfig
 from repro.core.generalized import GeneralizedReductionRuntime
 from repro.core.irregular import IrregularReductionRuntime
 from repro.core.stencil import StencilRuntime
+from repro.core.stencil_reduce import ConvergenceResult, StencilReduceRuntime
 
 __all__ = [
     "GRKernel",
@@ -69,4 +70,6 @@ __all__ = [
     "GeneralizedReductionRuntime",
     "IrregularReductionRuntime",
     "StencilRuntime",
+    "StencilReduceRuntime",
+    "ConvergenceResult",
 ]

@@ -67,6 +67,29 @@ class AdaptivePartitioner:
         self._split_cache = (total, counts)
         return counts.copy()
 
+    def state_dict(self) -> dict:
+        """Checkpointable copy of the profile (speeds + memoized split).
+
+        A crash-restarted rank that rebuilds its runtime gets a *fresh*
+        partitioner; without reloading this state it would re-profile from
+        an even split while the survivors keep proportional splits, and
+        every post-recovery device charge would diverge from an
+        uninterrupted run.
+        """
+        return {
+            "speeds": None if self._speeds is None else self._speeds.copy(),
+            "split_cache": None
+            if self._split_cache is None
+            else (self._split_cache[0], self._split_cache[1].copy()),
+        }
+
+    def load_state(self, state: dict) -> None:
+        """Reinstate a :meth:`state_dict` profile."""
+        speeds = state["speeds"]
+        cache = state["split_cache"]
+        self._speeds = None if speeds is None else np.asarray(speeds, dtype=np.float64).copy()
+        self._split_cache = None if cache is None else (int(cache[0]), np.asarray(cache[1]).copy())
+
     def observe(self, counts: np.ndarray, times: np.ndarray) -> None:
         """Record one time step's (counts, times) profile.
 

@@ -198,3 +198,40 @@ class CheckpointManager:
             if it % self.every == 0 and it < iterations:
                 ckpt = self._take(it, capture)
         return executions
+
+    def run_convergence(
+        self,
+        max_iters: int,
+        body: Callable[[int], bool],
+        capture: Callable[[], Any],
+        restore: Callable[[Any], None],
+    ) -> int:
+        """Run ``body(i)`` until it returns True or ``max_iters``, with recovery.
+
+        The convergence-loop twin of :meth:`run_iterations`: ``body``
+        performs one iteration and reports whether the loop should stop
+        (e.g. the residual dropped below tolerance).  ``capture`` must
+        include whatever the convergence test depends on — iteration
+        counters, residual histories, kernel parameters — so that a
+        rollback replays the loop identically (``body`` decisions are
+        collective, so every rank stops on the same iteration).  Returns
+        the number of body executions including re-executed iterations.
+        """
+        if max_iters < 1:
+            raise ValidationError(f"max_iters must be >= 1, got {max_iters}")
+        ckpt = self._take(0, capture)
+        executions = 0
+        it = 0
+        while it < max_iters:
+            crashed, crash, restart_cost = self._poll_crash()
+            if crashed:
+                it = self._recover(ckpt, crash, restart_cost, restore)
+                continue
+            done = bool(body(it))
+            executions += 1
+            it += 1
+            if done:
+                break
+            if it % self.every == 0 and it < max_iters:
+                ckpt = self._take(it, capture)
+        return executions

@@ -13,7 +13,12 @@ Grid decomposition and execution flow:
   (``owned=True``) with non-blocking messages, and received directly into
   the halo slabs via ``irecv(out=...)`` — the wall-clock path does one
   copy on each end, while the *charged* pack/unpack costs (GPU: host
-  buffer → device copy + scatter kernel) are unchanged.
+  buffer → device copy + scatter kernel) are unchanged.  When several
+  arrays are exchanged (the grid plus mutable coefficient fields), all
+  strips bound for one neighbour ride a single coalesced message
+  (:class:`~repro.comm.coalesce.HaloCoalescer`): one payload per
+  (axis, side) per step regardless of field count, charged bytes
+  unchanged.
 - **Overlap**: inner elements — those at least ``halo`` away from the
   sub-grid boundary — depend only on local data and are computed
   concurrently with the exchange; boundary elements run after (steps 3/7).
@@ -41,6 +46,7 @@ import numpy as np
 
 from repro.cluster.topology import dims_create
 from repro.comm.cart import CartComm
+from repro.comm.coalesce import HaloCoalescer
 from repro.comm.constants import PROC_NULL
 from repro.core.adaptive import AdaptivePartitioner
 from repro.core.api import StencilKernel
@@ -113,6 +119,9 @@ class StencilRuntime:
         self._timestep = 0
         self._partitioner: AdaptivePartitioner | None = None
         self._rows: np.ndarray | None = None  # current per-device row counts
+        #: (t0, rows, recvs) of an exchange begun ahead of the next step
+        #: (see :meth:`begin_step_early`), or None.
+        self._prestarted: tuple[float, np.ndarray, list] | None = None
 
     # -- configuration ---------------------------------------------------
     def configure(
@@ -125,6 +134,7 @@ class StencilRuntime:
         model_shape: tuple[int, ...] | None = None,
         parameter: Any = None,
         static_fields: dict[str, np.ndarray] | None = None,
+        exchange_fields: tuple[str, ...] = (),
     ) -> None:
         """Set up the decomposition (paper: grid size + virtual topology).
 
@@ -141,6 +151,13 @@ class StencilRuntime:
                 :class:`StencilFields` wrapper as its parameter, carrying
                 halo-padded local views of every field (an extension past
                 the paper's single-target-object limitation, SII-C).
+            exchange_fields: Names from ``static_fields`` that the kernel
+                *mutates* each step, so their halos must travel with the
+                grid's.  Their strips are coalesced with the grid strip
+                into one message per neighbour per step (message count
+                stays ``O(axes x 2)`` regardless of field count; charged
+                bytes grow with the payload, as they must).  Exchanged
+                fields must share the kernel dtype.
         """
         env = self.env
         ndim = len(global_shape)
@@ -193,29 +210,22 @@ class StencilRuntime:
 
         # Pooled halo-exchange state, fixed for the lifetime of this
         # configuration: per-axis neighbour ranks, cached face slices and
-        # model-scale wire sizes, and preallocated contiguous send strips.
-        # Send strips are double-buffered by timestep parity: the strip a
-        # message was packed into is not reused until two steps later, by
-        # which point the neighbour has provably consumed it (its next-step
-        # send on this axis cannot happen before it filled this step's
-        # halos).  Packed strips are therefore sent with ``owned=True`` —
-        # no snapshot copy — and receives land straight in the halo slabs
-        # via ``irecv(out=...)``.
+        # model-scale wire sizes, and a per-neighbour message coalescer
+        # holding the preallocated contiguous send strips.  Strips stay
+        # double-buffered by timestep parity: the buffer a message was
+        # packed into is not reused until two steps later, by which point
+        # the neighbour has provably consumed it (its next-step send on
+        # this axis cannot happen before it filled this step's halos).
+        # Packed payloads are therefore sent with ``owned=True`` — no
+        # snapshot copy — and single-strip receives land straight in the
+        # halo slabs via ``irecv(out=...)``.
         self._neighbors = [self.cart.shift(ax, 1) for ax in range(ndim)]
         self._send_slices = {}
         self._halo_slices = {}
-        self._send_bufs = {}
         for ax in range(ndim):
             for side in (-1, +1):
                 self._send_slices[(ax, side)] = self._face_slices(ax, side, False)
                 self._halo_slices[(ax, side)] = self._face_slices(ax, side, True)
-                strip_shape = tuple(
-                    sl.stop - sl.start for sl in self._send_slices[(ax, side)]
-                )
-                for parity in (0, 1):
-                    self._send_bufs[(ax, side, parity)] = np.empty(
-                        strip_shape, dtype=kernel.dtype
-                    )
         self._face_wire = [self._face_bytes_model(ax) for ax in range(ndim)]
         self._fields: dict[str, np.ndarray] = {}
         if static_fields:
@@ -227,9 +237,37 @@ class StencilRuntime:
                         f"expected {self.global_shape}"
                     )
                 self._fields[name] = self._pad_from_global(field, h)
+        self._exchange_names = tuple(exchange_fields)
+        for name in self._exchange_names:
+            if name not in self._fields:
+                raise ConfigurationError(
+                    f"exchange field {name!r} is not a configured static field"
+                )
+            if self._fields[name].dtype != kernel.dtype:
+                raise ConfigurationError(
+                    f"exchange field {name!r} has dtype {self._fields[name].dtype}; "
+                    f"coalesced halos require the kernel dtype {kernel.dtype}"
+                )
+        # All arrays exchanged per step: the grid (always) plus the
+        # mutable fields.  Every (axis, side) face carries one strip per
+        # array, coalesced into a single message whose charged size is the
+        # per-strip wire size times the array count.
+        self._exchange_extra = tuple(self._fields[n] for n in self._exchange_names)
+        n_arrays = 1 + len(self._exchange_extra)
+        self._axis_wire = [w * n_arrays for w in self._face_wire]
+        self._coalescer = HaloCoalescer(env.comm, env.trace)
+        for ax in range(ndim):
+            for side in (-1, +1):
+                strip_shape = tuple(
+                    sl.stop - sl.start for sl in self._send_slices[(ax, side)]
+                )
+                self._coalescer.register(
+                    (ax, side), (strip_shape,) * n_arrays, kernel.dtype
+                )
         self._partitioner = AdaptivePartitioner(len(env.devices))
         self._rows = None
         self._timestep = 0
+        self._prestarted = None
         self._configured = True
         # Region lists and element totals are fixed for this configuration;
         # cache them so the step loop doesn't rebuild slice tuples or
@@ -245,6 +283,14 @@ class StencilRuntime:
         if grid.shape != self.global_shape:
             raise ConfigurationError(
                 f"grid shape {grid.shape} != configured {self.global_shape}"
+            )
+        if not np.can_cast(grid.dtype, self._kernel.dtype, casting="same_kind"):
+            # Slice assignment below would cast silently (e.g. a float
+            # grid truncated into an integer kernel); make the kind
+            # mismatch a configuration error instead of a precision bug.
+            raise ConfigurationError(
+                f"grid dtype {grid.dtype} cannot be cast to kernel dtype "
+                f"{self._kernel.dtype} ('same_kind'); convert the grid explicitly"
             )
         block = grid[
             tuple(
@@ -354,7 +400,7 @@ class StencilRuntime:
         """
         env = self.env
         ready = env.clock.now
-        total_bytes = self._face_wire[axis]
+        total_bytes = self._axis_wire[axis]
         n_dev = len(env.devices)
         # tolist(): keep the per-device shares python floats — numpy scalars
         # leaking into the time arithmetic slow every max()/schedule() call.
@@ -379,45 +425,60 @@ class StencilRuntime:
                 ready = max(ready, env.clock.now + env.host_memcpy_time(nbytes))
         return ready
 
+    def _exchange_sources(self) -> tuple[np.ndarray, ...]:
+        """Arrays whose strips ride each halo message, grid first.
+
+        Recomputed per call because the grid buffers swap every step;
+        the extra fields are stable objects mutated in place.
+        """
+        return (self._src,) + self._exchange_extra
+
     def _send_axis(self, axis: int, rows: np.ndarray) -> None:
-        """Pack and send this axis' two strips (Fig. 4 steps 1-2)."""
-        comm = self.env.comm
+        """Pack and send this axis' two faces (Fig. 4 steps 1-2).
+
+        All exchanged arrays' strips for one neighbour travel as a single
+        coalesced message — one per (axis, side) per step.
+        """
         low_src, high_dst = self._neighbors[axis]
         if low_src == PROC_NULL and high_dst == PROC_NULL:
             return
         pack_done = self._pack_cost(axis, rows)
         self.env.clock.advance_to(pack_done)
-        wire = self._face_wire[axis]
+        wire = self._axis_wire[axis]
         parity = self._timestep & 1
+        sources = self._exchange_sources()
         if high_dst != PROC_NULL:
-            strip = self._send_bufs[(axis, +1, parity)]
-            np.copyto(strip, self._src[self._send_slices[(axis, +1)]])
-            comm.isend(strip, high_dst, _TAG_HALO + axis, wire_bytes=wire, owned=True)
+            strips = [arr[self._send_slices[(axis, +1)]] for arr in sources]
+            self._coalescer.send((axis, +1), high_dst, _TAG_HALO + axis, strips, wire, parity)
         if low_src != PROC_NULL:
-            strip = self._send_bufs[(axis, -1, parity)]
-            np.copyto(strip, self._src[self._send_slices[(axis, -1)]])
-            comm.isend(strip, low_src, _TAG_HALO + axis, wire_bytes=wire, owned=True)
+            strips = [arr[self._send_slices[(axis, -1)]] for arr in sources]
+            self._coalescer.send((axis, -1), low_src, _TAG_HALO + axis, strips, wire, parity)
 
-    def _post_axis_recvs(self, axis: int) -> list[tuple[int, int, Any]]:
+    def _post_axis_recvs(self, axis: int) -> list[tuple[int, Any]]:
         """Post this axis' receives straight into the halo slabs (no unpack
-        copy: ``deliver`` writes the non-contiguous slab view in place)."""
-        comm = self.env.comm
+        copy in the single-strip case: ``deliver`` writes the slab view in
+        place; multi-strip payloads scatter from a staging buffer)."""
         recvs = []
         low_src, high_dst = self._neighbors[axis]
+        sources = self._exchange_sources()
         if low_src != PROC_NULL:
-            out = self._src[self._halo_slices[(axis, -1)]]
-            recvs.append((axis, -1, comm.irecv(source=low_src, tag=_TAG_HALO + axis, out=out)))
+            outs = [arr[self._halo_slices[(axis, -1)]] for arr in sources]
+            recvs.append(
+                (axis, self._coalescer.post_recv((axis, -1), low_src, _TAG_HALO + axis, outs))
+            )
         if high_dst != PROC_NULL:
-            out = self._src[self._halo_slices[(axis, +1)]]
-            recvs.append((axis, +1, comm.irecv(source=high_dst, tag=_TAG_HALO + axis, out=out)))
+            outs = [arr[self._halo_slices[(axis, +1)]] for arr in sources]
+            recvs.append(
+                (axis, self._coalescer.post_recv((axis, +1), high_dst, _TAG_HALO + axis, outs))
+            )
         return recvs
 
-    def _fill_halos(self, recvs: list[tuple[int, int, Any]]) -> None:
+    def _fill_halos(self, recvs: list[tuple[int, Any]]) -> None:
         """Wait for halo data (delivered into the slabs), charge unpack (4-5)."""
         env = self.env
-        for axis, side, req in recvs:
+        for axis, req in recvs:
             req.wait()
-            nbytes = self._face_wire[axis]
+            nbytes = self._axis_wire[axis]
             unpack_end = env.clock.now
             for dev in env.devices:
                 if isinstance(dev, GPUDevice):
@@ -433,7 +494,7 @@ class StencilRuntime:
                     )
             env.clock.advance_to(unpack_end)
 
-    def _begin_exchange(self) -> list[tuple[int, int, Any]]:
+    def _begin_exchange(self) -> list[tuple[int, Any]]:
         """Kick off the halo exchange: post axis-0 traffic immediately.
 
         Later axes must wait for earlier axes' halos before their strips
@@ -446,7 +507,59 @@ class StencilRuntime:
         self._send_axis(0, rows)
         return recvs
 
-    def _finish_exchange(self, recvs: list[tuple[int, int, Any]]) -> None:
+    def begin_step_early(self) -> None:
+        """Kick off the *next* step's axis-0 exchange ahead of :meth:`step`.
+
+        Used by runtimes that have per-step work which can overlap the
+        halo wire time — e.g. the fused reduce combine in
+        :class:`~repro.core.stencil_reduce.StencilReduceRuntime`: the
+        strips are packed and sent before the combine's collective runs,
+        so its virtual cost hides the messages' flight time.  The next
+        :meth:`step` call picks the in-flight exchange up instead of
+        starting its own.  Device timelines are reset here (normally
+        :meth:`step`'s first act) so the pack charges land on the fresh
+        timelines of the step they belong to.
+        """
+        self._check_configured()
+        if self._prestarted is not None:
+            raise ConfigurationError("an exchange is already in flight for the next step")
+        env = self.env
+        t0 = env.clock.now
+        for dev in env.devices:
+            dev.reset(start=t0)
+        rows = self._device_rows()
+        self._rows = rows
+        recvs = self._begin_exchange()
+        self._prestarted = (t0, rows, recvs)
+
+    def cancel_begun_step(self) -> None:
+        """Drain an exchange begun by :meth:`begin_step_early` unused.
+
+        A convergence loop that speculatively begins step ``t+1``'s
+        exchange and then detects convergence at step ``t`` must still
+        complete the posted receives — every rank sent its strips, and
+        leaving them unmatched would poison the per-(src, tag) FIFO for
+        any later traffic.  Halo slabs are (re)filled, interiors are
+        untouched, and the unpack charges are paid: the speculation was
+        real work, so its cost is honest.
+        """
+        pre = self._prestarted
+        if pre is None:
+            return
+        self._prestarted = None
+        _t0, _rows, recvs = pre
+        self._fill_halos(recvs)
+
+    def _after_apply(self, src: np.ndarray, dst: np.ndarray) -> None:
+        """Hook: runs right after the kernel apply, before the buffer swap.
+
+        ``src`` is the step's input grid, ``dst`` the freshly computed
+        output.  Subclasses fuse per-step extras here (e.g. the local
+        reduction of a fused stencil+reduce); the base runtime does
+        nothing.
+        """
+
+    def _finish_exchange(self, recvs: list[tuple[int, Any]]) -> None:
         """Complete the exchange: fill axis-0 halos, then run later axes."""
         rows = self._rows if self._rows is not None else np.array([1])
         self._fill_halos(recvs)
@@ -553,13 +666,19 @@ class StencilRuntime:
             raise ConfigurationError("no kernel configured")
         env = self.env
         clock = env.clock
-        t0 = clock.now
-        for dev in env.devices:
-            dev.reset(start=t0)
-        rows = self._device_rows()
-        self._rows = rows
-
-        recvs = self._begin_exchange()
+        pre = self._prestarted
+        if pre is None:
+            t0 = clock.now
+            for dev in env.devices:
+                dev.reset(start=t0)
+            rows = self._device_rows()
+            self._rows = rows
+            recvs = self._begin_exchange()
+        else:
+            # The exchange (and the device resets) already happened in
+            # begin_step_early(); pick up the in-flight receives.
+            self._prestarted = None
+            t0, rows, recvs = pre
         n_bound = len(self._boundary)
 
         if self.overlap:
@@ -591,6 +710,7 @@ class StencilRuntime:
         # the interior is computed as one box or as inner + boundary slabs,
         # and numpy is much faster over the single large box.
         self._kernel.apply(self._src, self._dst, self.interior, self._effective_parameter())
+        self._after_apply(self._src, self._dst)
 
         if self.adaptive and not self._partitioner.profiled:
             busy = busy_inner + busy_bound
@@ -615,17 +735,31 @@ class StencilRuntime:
 
         Captures exactly what one iteration mutates: both grid buffers
         (halos included — a restored rank must not need a fresh exchange
-        to resume), the timestep counter (send-strip parity), and the
-        current device split.  Configuration (decomposition, kernel,
-        static fields) is rebuilt identically by the rank program and is
-        deliberately not snapshotted.
+        to resume), the timestep counter (send-strip parity), the current
+        device split, any mutable exchanged fields, and the adaptive
+        partitioner's observed profile.  The partitioner state matters
+        because a crash-restarted rank rebuilds its runtime with a fresh,
+        *unprofiled* partitioner: without the saved speeds it would
+        re-profile from an even split while the surviving ranks keep
+        their proportional splits, and every post-recovery device charge
+        (hence the makespan) would diverge from an uninterrupted run.
+        Read-only configuration (decomposition, kernel, static fields) is
+        rebuilt identically by the rank program and is deliberately not
+        snapshotted.
         """
         self._check_configured()
+        if self._prestarted is not None:
+            raise ConfigurationError(
+                "cannot snapshot with a speculative exchange in flight; "
+                "drive checkpointed loops without begin_step_early()"
+            )
         return {
             "src": self._src.copy(),
             "dst": self._dst.copy(),
             "timestep": self._timestep,
             "rows": None if self._rows is None else self._rows.copy(),
+            "fields": {n: self._fields[n].copy() for n in self._exchange_names},
+            "partitioner": self._partitioner.state_dict(),
         }
 
     def restore_state(self, state: dict) -> None:
@@ -635,6 +769,9 @@ class StencilRuntime:
         np.copyto(self._dst, state["dst"])
         self._timestep = state["timestep"]
         self._rows = None if state["rows"] is None else state["rows"].copy()
+        for name, saved in state["fields"].items():
+            np.copyto(self._fields[name], saved)
+        self._partitioner.load_state(state["partitioner"])
 
     # -- results ---------------------------------------------------------------------------
     def local_interior(self) -> np.ndarray:

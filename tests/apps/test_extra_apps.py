@@ -162,3 +162,57 @@ def test_hotspot_config_validation():
         hotspot.HotspotConfig(shape=(8, 64))
     with pytest.raises(Exception):
         hotspot.HotspotConfig(iterations=0)
+
+
+# ------------------------------------------------------------------ jacobi2d
+from repro.apps.extra import jacobi2d
+
+J2D_CFG = jacobi2d.Jacobi2DConfig(shape=(24, 24), tol=1e-3, max_iters=120)
+
+
+@pytest.mark.parametrize("nodes", [1, 2, 4])
+def test_jacobi2d_matches_sequential(nodes):
+    """Same iteration count and (to roundoff) the same converged grid —
+    the fused residual must drive the same stopping decision the plain
+    step-then-norm loop makes."""
+    res = spmd_run(jacobi2d.rank_program, ohio_cluster(nodes), args=(J2D_CFG, "cpu"))
+    ref_grid, ref_iters, ref_residuals = jacobi2d.sequential_reference(J2D_CFG)
+    v = res.values[0]
+    assert v["converged"]
+    assert v["iterations"] == ref_iters
+    assert len(v["residuals"]) == ref_iters
+    np.testing.assert_allclose(v["residuals"], ref_residuals, rtol=1e-7)
+    np.testing.assert_allclose(v["grid"], ref_grid, rtol=1e-7)
+
+
+def test_jacobi2d_converges_before_cap():
+    res = spmd_run(jacobi2d.rank_program, ohio_cluster(1), args=(J2D_CFG, "cpu"))
+    v = res.values[0]
+    assert v["converged"]
+    assert v["iterations"] < J2D_CFG.max_iters
+    # Jacobi residuals decay monotonically for this smooth problem.
+    assert v["residuals"][-1] <= J2D_CFG.tol < v["residuals"][0]
+
+
+def test_jacobi2d_heterogeneous_matches():
+    res = spmd_run(jacobi2d.rank_program, ohio_cluster(2), args=(J2D_CFG, "cpu+2gpu"))
+    ref_grid, ref_iters, _ = jacobi2d.sequential_reference(J2D_CFG)
+    assert res.values[0]["iterations"] == ref_iters
+    np.testing.assert_allclose(res.values[0]["grid"], ref_grid, rtol=1e-7)
+
+
+def test_jacobi2d_run_reports_actual_iterations():
+    run = jacobi2d.run(ohio_cluster(2), J2D_CFG)
+    assert run.app == "jacobi2d"
+    assert run.makespan > 0
+    assert run.seq_time > 0
+    assert run.spmd.values[0]["converged"]
+
+
+def test_jacobi2d_config_validation():
+    with pytest.raises(Exception):
+        jacobi2d.Jacobi2DConfig(shape=(4, 24))
+    with pytest.raises(Exception):
+        jacobi2d.Jacobi2DConfig(tol=0.0)
+    with pytest.raises(Exception):
+        jacobi2d.Jacobi2DConfig(max_iters=0)

@@ -87,3 +87,71 @@ def test_speeds_property_returns_copy():
     s[0] = 999
     assert p.speeds[0] != 999
     assert AdaptivePartitioner(2).speeds is None
+
+
+def test_largest_remainder_ties_are_deterministic():
+    """Equal fractional remainders must break ties identically every call.
+
+    With 4 equally fast devices and a total of 4k+2 elements, every
+    device has remainder 0.5 and exactly two get the extra element —
+    which two is an argsort tie, and the answer must be stable (SPMD
+    ranks each compute their own split; divergence would desynchronize
+    device charges across reruns and backends).
+    """
+    p = AdaptivePartitioner(4)
+    p.observe(np.array([10, 10, 10, 10]), np.array([1.0, 1.0, 1.0, 1.0]))
+    first = p.split(10)
+    assert first.sum() == 10
+    for _ in range(5):
+        p2 = AdaptivePartitioner(4)
+        p2.observe(np.array([10, 10, 10, 10]), np.array([1.0, 1.0, 1.0, 1.0]))
+        np.testing.assert_array_equal(p2.split(10), first)
+    # np.argsort is stable for equal keys: the extra elements go to the
+    # lowest-indexed tied devices.
+    np.testing.assert_array_equal(first, [3, 3, 2, 2])
+
+
+def test_split_cache_reused_and_invalidated_on_observe():
+    p = AdaptivePartitioner(2)
+    p.observe(np.array([100, 300]), np.array([1.0, 1.0]))
+    np.testing.assert_array_equal(p.split(100), [25, 75])
+    assert p._split_cache is not None and p._split_cache[0] == 100
+    cached = p._split_cache[1]
+    # Same total hits the memo (fresh copy, same counts, same identity
+    # of the cached array).
+    np.testing.assert_array_equal(p.split(100), [25, 75])
+    assert p._split_cache[1] is cached
+    # Mutating the returned copy must not poison the cache.
+    out = p.split(100)
+    out[0] = 999
+    np.testing.assert_array_equal(p.split(100), [25, 75])
+    # A new observation invalidates the memo and changes the answer.
+    p.observe(np.array([100, 100]), np.array([1.0, 1.0]))
+    assert p._split_cache is None
+    np.testing.assert_array_equal(p.split(100), [50, 50])
+
+
+def test_state_dict_roundtrip_preserves_profile_and_cache():
+    p = AdaptivePartitioner(2)
+    p.observe(np.array([100, 300]), np.array([1.0, 1.0]))
+    p.split(100)  # warm the memo
+    state = p.state_dict()
+
+    q = AdaptivePartitioner(2)
+    q.load_state(state)
+    assert q.profiled
+    np.testing.assert_array_equal(q.split(100), p.split(100))
+    np.testing.assert_array_equal(q.speeds, p.speeds)
+    # The saved state is independent of both partitioners.
+    state["speeds"][0] = -1
+    assert p.speeds[0] != -1 and q.speeds[0] != -1
+
+
+def test_state_dict_roundtrip_unprofiled():
+    state = AdaptivePartitioner(3).state_dict()
+    assert state["speeds"] is None and state["split_cache"] is None
+    q = AdaptivePartitioner(3)
+    q.observe(np.array([1, 2, 3]), np.array([1.0, 1.0, 1.0]))
+    q.load_state(state)  # restoring a pre-profile snapshot forgets the profile
+    assert not q.profiled
+    np.testing.assert_array_equal(q.split(9), [3, 3, 3])

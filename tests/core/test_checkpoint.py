@@ -135,6 +135,76 @@ def test_validation():
         mgr = CheckpointManager(ctx)
         with pytest.raises(ValidationError):
             mgr.run_iterations(0, lambda i: None, lambda: None, lambda s: None)
+        with pytest.raises(ValidationError):
+            mgr.run_convergence(0, lambda i: True, lambda: None, lambda s: None)
         return True
 
     assert spmd_run(prog, laptop_cluster(num_nodes=1)).values == [True]
+
+
+# ------------------------------------------------------------ run_convergence
+def _converging_prog(ctx, stop_at=6, max_iters=20, every=2, step_cost=1e-4):
+    """Convergence loop: state is a counter; the body signals done when the
+    (collective) counter reaches ``stop_at``."""
+    state = {"x": 0.0, "history": []}
+    mgr = CheckpointManager(ctx, every=every)
+
+    def body(_it):
+        state["x"] += 1.0
+        state["history"].append(state["x"])
+        ctx.clock.advance(step_cost)
+        ctx.comm.barrier()
+        return state["x"] >= stop_at
+
+    execs = mgr.run_convergence(
+        max_iters,
+        body,
+        lambda: {"x": state["x"], "history": list(state["history"])},
+        lambda s: (
+            state.update(x=s["x"]),
+            state.update(history=list(s["history"])),
+        ),
+    )
+    return {
+        "value": state["x"],
+        "history": state["history"],
+        "executions": execs,
+        "checkpoints": mgr.checkpoints_taken,
+        "recoveries": mgr.recoveries,
+    }
+
+
+def test_run_convergence_stops_on_done():
+    res = spmd_run(_converging_prog, laptop_cluster(num_nodes=2))
+    for v in res.values:
+        assert v["value"] == 6.0
+        assert v["executions"] == 6  # not max_iters
+        assert v["history"] == [1.0, 2.0, 3.0, 4.0, 5.0, 6.0]
+        assert v["recoveries"] == 0
+
+
+def test_run_convergence_hits_cap_when_never_done():
+    res = spmd_run(
+        _converging_prog, laptop_cluster(num_nodes=2), kwargs={"stop_at": 99}
+    )
+    for v in res.values:
+        assert v["executions"] == 20
+        assert v["value"] == 20.0
+
+
+def test_run_convergence_crash_replays_to_same_stop():
+    """A crash mid-loop re-executes from the checkpoint, and the restored
+    history means the loop still stops at the same iteration with the
+    same record."""
+    plan = FaultPlan(
+        seed=1, crashes=[RankCrash(rank=1, at_time=4.5e-4, restart_cost=0.01)]
+    )
+    res = spmd_run(_converging_prog, laptop_cluster(num_nodes=2), fault_plan=plan)
+    clean = spmd_run(_converging_prog, laptop_cluster(num_nodes=2))
+    for v, c in zip(res.values, clean.values):
+        assert v["value"] == c["value"]
+        assert v["history"] == c["history"]  # no re-appended duplicates
+        assert v["executions"] > c["executions"]
+        assert v["recoveries"] == 1
+    assert plan.stats.crashes_consumed == 1
+    assert res.makespan > clean.makespan + 0.01

@@ -190,6 +190,87 @@ def test_halo_values_come_from_neighbors_not_local_data():
     np.testing.assert_allclose(res.values[0][boundary_rows], ref[boundary_rows], rtol=1e-12)
 
 
+def test_set_global_grid_dtype_guard():
+    """Kind-incompatible grids must fail loudly, not silently truncate."""
+
+    def int_into_float(ctx):
+        st = RuntimeEnv(ctx, "cpu").get_stencil()
+        st.configure(StencilKernel(_avg2d, 1, WORK), (10, 10))
+        st.set_global_grid(np.arange(100).reshape(10, 10))  # int -> float: fine
+        return st.local_interior().dtype
+
+    assert run_spmd(int_into_float, nodes=1).values[0] == np.dtype(np.float64)
+
+    def float_into_int(ctx):
+        st = RuntimeEnv(ctx, "cpu").get_stencil()
+        kernel = StencilKernel(_avg2d, 1, WORK, dtype=np.dtype(np.int64))
+        st.configure(kernel, (10, 10))
+        st.set_global_grid(np.random.default_rng(0).random((10, 10)))
+
+    with pytest.raises(ConfigurationError, match="dtype"):
+        run_spmd(float_into_int, nodes=1)
+
+
+def test_snapshot_state_includes_partitioner_profile():
+    """A restored runtime must resume with the adaptive split it had, not
+    re-profile from an even split (the crash-restart divergence bug)."""
+
+    def prog(ctx):
+        env = RuntimeEnv(ctx, "cpu+1gpu")
+        st = env.get_stencil()
+        st.configure(StencilKernel(_avg2d, 1, WORK), GRID2D.shape)
+        st.set_global_grid(GRID2D)
+        st.run(2)  # step 1 profiles the devices
+        assert st._partitioner.profiled
+        state = st.snapshot_state()
+        assert state["partitioner"]["speeds"] is not None
+
+        # A freshly rebuilt runtime (the crash-restart path) starts
+        # unprofiled; restoring the snapshot must bring the profile back.
+        st2 = env.get_stencil()
+        st2.configure(StencilKernel(_avg2d, 1, WORK), GRID2D.shape)
+        assert not st2._partitioner.profiled
+        st2.restore_state(state)
+        assert st2._partitioner.profiled
+        np.testing.assert_array_equal(
+            st2._partitioner.split(GRID2D.shape[0]),
+            st._partitioner.split(GRID2D.shape[0]),
+        )
+        return True
+
+    assert run_spmd(prog, nodes=1).values == [True]
+
+
+def test_snapshot_state_roundtrips_exchange_fields():
+    def prog(ctx):
+        def kern(src, dst, region, param):
+            v = param["v"]
+            dst[region] = src[region] + v[region]
+            v[region] += 1.0
+
+        env = RuntimeEnv(ctx, "cpu")
+        st = env.get_stencil()
+        st.configure(
+            StencilKernel(kern, 1, WORK),
+            GRID2D.shape,
+            static_fields={"v": np.zeros(GRID2D.shape)},
+            exchange_fields=("v",),
+        )
+        st.set_global_grid(GRID2D)
+        st.run(2)
+        state = st.snapshot_state()
+        saved_v = st._fields["v"].copy()
+        st.run(3)  # keeps mutating v
+        assert not np.array_equal(st._fields["v"], saved_v)
+        st.restore_state(state)
+        np.testing.assert_array_equal(st._fields["v"], saved_v)
+        # The snapshot is a copy, not a view of the live field.
+        assert state["fields"]["v"] is not st._fields["v"]
+        return True
+
+    assert run_spmd(prog, nodes=1).values == [True]
+
+
 @pytest.mark.parametrize("nodes", [2, 4])
 def test_multirank_result_bitwise_identical_to_sequential(nodes):
     # Stronger than allclose: halo strips travel through the pooled

@@ -1,0 +1,305 @@
+"""Fused stencil+reduce runtime: bit-identity, overlap, checkpointing."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.cluster.presets import laptop_cluster
+from repro.core.api import StencilKernel, shifted
+from repro.core.checkpoint import CheckpointManager
+from repro.core.env import RuntimeEnv
+from repro.core.stencil_reduce import ConvergenceResult
+from repro.device.work import WorkModel
+from repro.faults.plan import FaultPlan, RankCrash
+from repro.sim.engine import spmd_run
+from repro.util.errors import ConfigurationError
+from tests.conftest import run_spmd
+
+WORK = WorkModel(name="st", flops_per_elem=8, bytes_per_elem=32)
+GRID = np.random.default_rng(3).random((28, 24))
+TOL = 0.5
+MAX_ITERS = 200
+
+
+def _avg2d(src, dst, region, param):
+    dst[region] = 0.25 * (
+        shifted(src, region, (1, 0)) + shifted(src, region, (-1, 0))
+        + shifted(src, region, (0, 1)) + shifted(src, region, (0, -1))
+    )
+
+
+def _kernel():
+    return StencilKernel(_avg2d, 1, WORK)
+
+
+def fused_program(ctx, tol=TOL, max_iters=MAX_ITERS, mix="cpu+2gpu", **st_opts):
+    """The runtime under test: one fused step+combine per iteration."""
+    env = RuntimeEnv(ctx, mix)
+    st = env.get_stencil_reduce(**st_opts)
+    st.configure(_kernel(), GRID.shape)
+    st.set_global_grid(GRID)
+    res = st.run_until(max_iters=max_iters, tol=tol)
+    grid = st.gather_global()
+    env.finalize()
+    return {
+        "grid": grid,
+        "iterations": res.iterations,
+        "residuals": res.residuals,
+        "converged": res.converged,
+    }
+
+
+def reference_program(ctx, tol=TOL, max_iters=MAX_ITERS, mix="cpu+2gpu"):
+    """The naive composition: step, then a standalone blocking allreduce."""
+    env = RuntimeEnv(ctx, mix)
+    st = env.get_stencil()
+    st.configure(_kernel(), GRID.shape)
+    st.set_global_grid(GRID)
+    residuals = []
+    iterations = 0
+    converged = False
+    for _ in range(max_iters):
+        old = st.local_interior()
+        st.step()
+        diff = (st.local_interior() - old).ravel()
+        total = env.comm.allreduce(float(np.dot(diff, diff)), op="sum")
+        residuals.append(float(math.sqrt(total)))
+        iterations += 1
+        if residuals[-1] <= tol:
+            converged = True
+            break
+    grid = st.gather_global()
+    env.finalize()
+    return {
+        "grid": grid,
+        "iterations": iterations,
+        "residuals": residuals,
+        "converged": converged,
+    }
+
+
+@pytest.mark.parametrize("nodes", [1, 2, 4])
+def test_run_until_matches_reference_loop_bitwise(nodes):
+    """Same iteration count, same residual sequence (exact float equality),
+    same final grid — the fusion may only move virtual time, never bits."""
+    fused = run_spmd(fused_program, nodes=nodes, gpus_per_node=2)
+    ref = run_spmd(reference_program, nodes=nodes, gpus_per_node=2)
+    f, r = fused.values[0], ref.values[0]
+    assert f["iterations"] == r["iterations"]
+    assert f["converged"] and r["converged"]
+    assert f["residuals"] == r["residuals"]  # bitwise, not allclose
+    np.testing.assert_array_equal(f["grid"], r["grid"])
+
+
+def test_fused_loop_is_faster_in_virtual_time():
+    """The combine overlaps the next step's halo flight: the fused loop
+    reaches the same bits sooner than step-then-allreduce."""
+    fused = run_spmd(fused_program, nodes=4, gpus_per_node=2)
+    ref = run_spmd(reference_program, nodes=4, gpus_per_node=2)
+    assert fused.makespan < ref.makespan
+
+
+def test_early_convergence_drains_speculation_deterministically():
+    """Converging mid-loop leaves a speculative exchange in flight; the
+    drain must keep the run repeatable bit for bit."""
+    a = run_spmd(fused_program, nodes=4, gpus_per_node=2)
+    b = run_spmd(fused_program, nodes=4, gpus_per_node=2)
+    assert a.values[0]["converged"]
+    assert a.values[0]["iterations"] < MAX_ITERS
+    assert repr(a.makespan) == repr(b.makespan)
+    assert a.times == b.times
+    np.testing.assert_array_equal(a.values[0]["grid"], b.values[0]["grid"])
+
+
+def test_counters_one_payload_per_neighbor_per_step():
+    """Each rank sends exactly one coalesced message per neighbour per
+    step (speculative sends belong to the step that consumes them)."""
+    steps = 5
+    res = run_spmd(
+        fused_program,
+        nodes=2,
+        gpus_per_node=2,
+        kwargs={"tol": None, "max_iters": steps},
+        trace=True,
+    )
+    for tr in res.traces:
+        counters = tr.counters
+        # dims=(2, 1): one neighbour each, one message per step.
+        assert counters["halo.msgs"] == steps
+        assert counters["halo.strips"] == steps  # single-array layout
+        assert counters["stencil_reduce.combines"] == steps
+        assert counters["stencil_reduce.steps"] == steps
+    assert not res.values[0]["converged"]  # tol=None never stops early
+
+
+def test_fixed_step_mode_runs_exactly_max_iters():
+    res = run_spmd(
+        fused_program, nodes=2, gpus_per_node=2, kwargs={"tol": None, "max_iters": 4}
+    )
+    v = res.values[0]
+    assert v["iterations"] == 4
+    assert len(v["residuals"]) == 4
+    assert not v["converged"]
+
+
+def test_max_reduce_op_matches_numpy():
+    """Non-sum combine path: max |update| across ranks, default float
+    residual_fn."""
+
+    def prog(ctx):
+        env = RuntimeEnv(ctx, "cpu")
+        st = env.get_stencil_reduce()
+        st.configure(_kernel(), GRID.shape)
+        st.set_global_grid(GRID)
+        res = st.run_until(
+            max_iters=3,
+            tol=None,
+            reduce_op="max",
+            reduce_fn=lambda old, new: float(np.abs(new - old).max()),
+        )
+        env.finalize()
+        return res.residuals
+
+    res = run_spmd(prog, nodes=2)
+    # Sequential twin of the same loop.
+    src = np.zeros(tuple(s + 2 for s in GRID.shape))
+    region = tuple(slice(1, 1 + s) for s in GRID.shape)
+    src[region] = GRID
+    dst = np.zeros_like(src)
+    expected = []
+    for _ in range(3):
+        _avg2d(src, dst, region, None)
+        expected.append(float(np.abs(dst[region] - src[region]).max()))
+        src, dst = dst, src
+        mask = np.ones_like(src, dtype=bool)
+        mask[region] = False
+        src[mask] = 0
+    assert res.values[0] == expected
+
+
+def checkpointed_program(ctx, every=3):
+    env = RuntimeEnv(ctx, "cpu")
+    st = env.get_stencil_reduce()
+    st.configure(_kernel(), GRID.shape)
+    st.set_global_grid(GRID)
+    mgr = CheckpointManager(ctx, every=every)
+    res = st.run_until(max_iters=MAX_ITERS, tol=TOL, checkpoint=mgr)
+    grid = st.gather_global()
+    env.finalize()
+    return {
+        "grid": grid,
+        "iterations": res.iterations,
+        "residuals": res.residuals,
+        "converged": res.converged,
+        "recoveries": mgr.recoveries,
+    }
+
+
+def test_checkpointed_loop_matches_uncheckpointed_numerics():
+    plain = run_spmd(fused_program, nodes=2, kwargs={"mix": "cpu"})
+    ckpt = run_spmd(checkpointed_program, nodes=2)
+    p, c = plain.values[0], ckpt.values[0]
+    assert c["iterations"] == p["iterations"]
+    assert c["residuals"] == p["residuals"]
+    np.testing.assert_array_equal(c["grid"], p["grid"])
+    assert c["recoveries"] == 0
+
+
+def test_crash_mid_convergence_recovers_bit_identically():
+    """A crash inside run_until rolls back grid + residual history +
+    iteration counter together; the recovered run must converge on the
+    same iteration with the same residuals and grid."""
+    clean = spmd_run(checkpointed_program, laptop_cluster(num_nodes=4))
+    plan = FaultPlan(
+        seed=1,
+        crashes=[
+            RankCrash(rank=1, at_time=clean.makespan * 0.5, restart_cost=0.005)
+        ],
+    )
+    res = spmd_run(checkpointed_program, laptop_cluster(num_nodes=4), fault_plan=plan)
+    assert plan.stats.crashes_consumed == 1
+    for v, c in zip(res.values, clean.values):
+        assert v["recoveries"] == 1
+        assert v["iterations"] == c["iterations"]
+        assert v["residuals"] == c["residuals"]
+        assert v["converged"]
+    np.testing.assert_array_equal(res.values[0]["grid"], clean.values[0]["grid"])
+    assert res.makespan > clean.makespan + 0.005
+
+
+def test_thread_and_process_backends_bit_identical():
+    threads = run_spmd(fused_program, nodes=2, gpus_per_node=2)
+    procs = run_spmd(
+        fused_program, nodes=2, gpus_per_node=2, backend="processes", workers=2
+    )
+    assert threads.times == procs.times
+    assert threads.values[0]["residuals"] == procs.values[0]["residuals"]
+    np.testing.assert_array_equal(threads.values[0]["grid"], procs.values[0]["grid"])
+
+
+def test_snapshot_with_speculative_exchange_in_flight_rejected():
+    def prog(ctx):
+        env = RuntimeEnv(ctx, "cpu")
+        st = env.get_stencil_reduce()
+        st.configure(_kernel(), GRID.shape)
+        st.set_global_grid(GRID)
+        st.step()
+        st.begin_step_early()
+        try:
+            st.snapshot_state()
+        finally:
+            st.cancel_begun_step()
+
+    with pytest.raises(ConfigurationError, match="in flight"):
+        run_spmd(prog, nodes=1)
+
+
+def test_double_prestart_rejected_and_cancel_is_idempotent():
+    def prog(ctx):
+        env = RuntimeEnv(ctx, "cpu")
+        st = env.get_stencil_reduce()
+        st.configure(_kernel(), GRID.shape)
+        st.set_global_grid(GRID)
+        st.cancel_begun_step()  # nothing in flight: a no-op
+        st.begin_step_early()
+        try:
+            st.begin_step_early()
+        except ConfigurationError:
+            st.cancel_begun_step()
+            st.cancel_begun_step()  # idempotent after the drain
+            return True
+        return False
+
+    assert run_spmd(prog, nodes=1).values == [True]
+
+
+def test_validation():
+    def bad_reduce_flops(ctx):
+        RuntimeEnv(ctx, "cpu").get_stencil_reduce(reduce_flops=-1.0)
+
+    with pytest.raises(ConfigurationError, match="reduce_flops"):
+        run_spmd(bad_reduce_flops, nodes=1)
+
+    def bad_max_iters(ctx):
+        env = RuntimeEnv(ctx, "cpu")
+        st = env.get_stencil_reduce()
+        st.configure(_kernel(), GRID.shape)
+        st.set_global_grid(GRID)
+        st.run_until(max_iters=0)
+
+    with pytest.raises(ConfigurationError, match="max_iters"):
+        run_spmd(bad_max_iters, nodes=1)
+
+    def unconfigured(ctx):
+        RuntimeEnv(ctx, "cpu").get_stencil_reduce().run_until(max_iters=1)
+
+    with pytest.raises(ConfigurationError, match="configure"):
+        run_spmd(unconfigured, nodes=1)
+
+
+def test_convergence_result_final_residual():
+    r = ConvergenceResult(iterations=2, residuals=[3.0, 1.5])
+    assert r.final_residual == 1.5
+    with pytest.raises(ConfigurationError, match="no iterations"):
+        _ = ConvergenceResult(iterations=0).final_residual

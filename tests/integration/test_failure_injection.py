@@ -201,3 +201,87 @@ def test_makespan_monotone_in_fault_severity():
         plan = FaultPlan.lossy(seed=13, drop=drop) if drop else None
         spans.append(_heat(plan, reliable=True).makespan)
     assert spans[0] < spans[1] < spans[2]
+
+
+# ---------------------------------------------------------------------------
+# Adaptive-split state across restart: a crash-restarted rank that rebuilds
+# its runtime (fresh, unprofiled partitioner) must restore the observed
+# device profile from the checkpoint, or every post-recovery charge — hence
+# the makespan — diverges from an uninterrupted run.
+# ---------------------------------------------------------------------------
+
+from repro.core.api import StencilKernel, shifted
+from repro.core.checkpoint import CheckpointManager
+from repro.core.env import RuntimeEnv
+
+ST_WORK = WorkModel(name="st", flops_per_elem=8, bytes_per_elem=32)
+ST_GRID = np.random.default_rng(3).random((28, 24))
+
+
+def _avg2d(src, dst, region, param):
+    dst[region] = 0.25 * (
+        shifted(src, region, (1, 0)) + shifted(src, region, (-1, 0))
+        + shifted(src, region, (0, 1)) + shifted(src, region, (0, -1))
+    )
+
+
+def _adaptive_ckpt_prog(ctx, rebuild=False, iterations=8):
+    """Checkpointed adaptive stencil; ``rebuild=True`` models a real
+    restart that reconstructs the runtime object before restoring."""
+    env = RuntimeEnv(ctx, "cpu+1gpu")
+
+    def build():
+        st = env.get_stencil(adaptive=True)
+        st.configure(StencilKernel(_avg2d, 1, ST_WORK), ST_GRID.shape)
+        return st
+
+    holder = {"st": build()}
+    holder["st"].set_global_grid(ST_GRID)
+    mgr = CheckpointManager(ctx, every=2)
+
+    def restore(state):
+        if rebuild:
+            holder["st"] = build()  # fresh runtime: unprofiled partitioner
+        holder["st"].restore_state(state)
+
+    mgr.run_iterations(
+        iterations,
+        lambda _it: holder["st"].step(),
+        lambda: holder["st"].snapshot_state(),
+        restore,
+    )
+    grid = holder["st"].gather_global()
+    env.finalize()
+    return {"grid": grid, "recoveries": mgr.recoveries}
+
+
+def test_adaptive_split_survives_runtime_rebuild_on_restart():
+    clean = spmd_run(_adaptive_ckpt_prog, laptop_cluster(num_nodes=2))
+
+    def crashed(rebuild):
+        plan = FaultPlan(
+            seed=1,
+            crashes=[
+                RankCrash(
+                    rank=1, at_time=clean.makespan * 0.6, restart_cost=0.004
+                )
+            ],
+        )
+        res = spmd_run(
+            _adaptive_ckpt_prog,
+            laptop_cluster(num_nodes=2),
+            kwargs={"rebuild": rebuild},
+            fault_plan=plan,
+        )
+        assert plan.stats.crashes_consumed == 1
+        assert all(v["recoveries"] == 1 for v in res.values)
+        return res
+
+    in_place = crashed(rebuild=False)
+    rebuilt = crashed(rebuild=True)
+    # The headline pin: restoring into a rebuilt runtime charges exactly
+    # what restoring in place does — bit for bit, not just approximately.
+    assert repr(rebuilt.makespan) == repr(in_place.makespan)
+    assert rebuilt.times == in_place.times
+    np.testing.assert_array_equal(rebuilt.values[0]["grid"], in_place.values[0]["grid"])
+    np.testing.assert_array_equal(rebuilt.values[0]["grid"], clean.values[0]["grid"])
