@@ -2,7 +2,8 @@
 
 Not a paper figure — these quantify the optimizations the paper implements
 but does not ablate individually: reduction localization, GPU stream
-count, dynamic chunk granularity, and adaptive device partitioning.
+count, dynamic chunk granularity, adaptive device partitioning, and the
+temporal-blocking factor sweep.
 """
 
 from __future__ import annotations
@@ -20,3 +21,6 @@ def test_ablations(benchmark, scale, report):
         "shared-memory localization must pay off for a 40-key reduction"
     )
     assert by[("adaptive-partitioning", "on")] <= by[("adaptive-partitioning", "off(static-even)")] * 1.01
+    assert by[("time-block", "k=4@latency")] < by[("time-block", "k=1@latency")], (
+        "temporal blocking must win on the latency-dominated preset"
+    )

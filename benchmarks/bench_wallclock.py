@@ -21,7 +21,9 @@ Each timed case reports:
 
 plus micro-benchmarks isolating the paths this harness exists to watch:
 the stencil step loop (Sobel/Heat3D), the fused stencil+reduce
-convergence loop (Jacobi2D), the irregular-reduction step loop
+convergence loop (Jacobi2D), the temporal-blocking A/B on the
+latency-dominated preset (``stencil_timeblock``, monotonicity asserted),
+the irregular-reduction step loop
 (Moldyn/MiniMD), the Kmeans emit path, the comm-fabric ping-pong hot
 path, and the 384-rank per-core MPI baseline (``baseline_ranks``).
 """
@@ -73,6 +75,12 @@ def _configs(mode: str) -> dict:
             "stencil_converge": jacobi2d.Jacobi2DConfig(
                 shape=(32, 32), tol=1e-3, max_iters=200
             ),
+            # Temporal blocking: fixed sweep count (tol below reach) so
+            # every k runs identical math; the latency-heavy preset makes
+            # the per-message alpha the dominant term k amortizes.
+            "stencil_timeblock": jacobi2d.Jacobi2DConfig(
+                shape=(48, 48), tol=1e-12, max_iters=24
+            ),
             "ir_step_repeats": 2,
             "nodes": 4,
             # Comm-fabric cases: a 2-rank ping-pong isolating the
@@ -97,6 +105,9 @@ def _configs(mode: str) -> dict:
         "moldyn_steps": moldyn.MoldynConfig(simulated_steps=10),
         "minimd_steps": minimd.MiniMDConfig(simulated_steps=10),
         "stencil_converge": jacobi2d.Jacobi2DConfig(),
+        "stencil_timeblock": jacobi2d.Jacobi2DConfig(
+            shape=(64, 64), tol=1e-12, max_iters=48
+        ),
         "nodes": 4,
         "pingpong_msgs": 5_000,
         "baseline_ranks_nodes": 32,
@@ -196,6 +207,42 @@ def bench_stencil_converge(cfg: dict) -> dict:
             "wall_s": round(wall, 4),
             "makespan": run.makespan,
             "iterations": run.spmd.values[0]["iterations"],
+        }
+    }
+
+
+def bench_stencil_timeblock(cfg: dict) -> dict:
+    """Temporal-blocking A/B on the latency-dominated preset (Jacobi2D).
+
+    Interleaved best-of repeats over k in {1, 2, 4} so machine noise hits
+    every variant alike.  Asserts the virtual-makespan monotonicity the
+    feature exists for — each doubling of k must strictly shrink the
+    latency-preset makespan — and records the k=4 makespan as the
+    bit-identity canary (``makespan``) with the k=1/k=2 spans alongside.
+    """
+    from repro.cluster.presets import latency_cluster
+
+    cluster = latency_cluster(2)
+    config = cfg["stencil_timeblock"]
+    walls = {1: float("inf"), 2: float("inf"), 4: float("inf")}
+    spans: dict[int, float] = {}
+    for _ in range(cfg["step_repeats"]):
+        for k in (1, 2, 4):
+            t0 = time.perf_counter()
+            run = jacobi2d.run(cluster, config, mix="cpu", time_block=k)
+            walls[k] = min(walls[k], time.perf_counter() - t0)
+            spans[k] = run.makespan
+    if not spans[4] < spans[2] < spans[1]:
+        raise AssertionError(
+            f"temporal blocking must be monotone on the latency preset: "
+            f"k=1 {spans[1]!r}, k=2 {spans[2]!r}, k=4 {spans[4]!r}"
+        )
+    return {
+        "stencil_timeblock": {
+            "wall_s": round(walls[4], 4),
+            "makespan": spans[4],
+            "makespan_k1": spans[1],
+            "makespan_k2": spans[2],
         }
     }
 
@@ -415,6 +462,7 @@ def collect(mode: str) -> dict:
     record["cases"].update(bench_apps(cfg))
     record["cases"].update(bench_stencil_steps(cfg))
     record["cases"].update(bench_stencil_converge(cfg))
+    record["cases"].update(bench_stencil_timeblock(cfg))
     record["cases"].update(bench_ir_steps(cfg))
     record["cases"].update(bench_kmeans_emit(cfg))
     # The 5%-gated obs case runs before the 384-thread fabric cases so the

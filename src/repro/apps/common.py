@@ -99,3 +99,27 @@ def check_functional_scale(functional: int, model: int, name: str) -> None:
 def cluster_with_nodes(cluster: ClusterSpec, nodes: int) -> ClusterSpec:
     """Convenience passthrough to :meth:`ClusterSpec.with_nodes`."""
     return cluster.with_nodes(nodes)
+
+
+def parse_time_block(value: str | int) -> int | str:
+    """Parse a ``--time-block`` value: a positive integer or ``"auto"``.
+
+    Shared by the CLI and profile plumbing so every app front-end accepts
+    the same spellings and reports the same error.
+    """
+    if isinstance(value, int):
+        if value < 1:
+            raise ValidationError(f"time block must be >= 1, got {value}")
+        return value
+    text = value.strip().lower()
+    if text == "auto":
+        return "auto"
+    try:
+        k = int(text)
+    except ValueError:
+        raise ValidationError(
+            f"time block must be a positive integer or 'auto', got {value!r}"
+        ) from None
+    if k < 1:
+        raise ValidationError(f"time block must be >= 1, got {k}")
+    return k

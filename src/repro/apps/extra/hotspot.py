@@ -83,13 +83,27 @@ def make_kernel() -> StencilKernel:
 
 
 def rank_program(
-    ctx: RankContext, config: HotspotConfig, mix: str | DeviceConfig = "cpu"
+    ctx: RankContext,
+    config: HotspotConfig,
+    mix: str | DeviceConfig = "cpu",
+    *,
+    time_block: int | str = 1,
 ) -> np.ndarray | None:
-    """SPMD body: decompose die + power map, iterate the thermal stencil."""
+    """SPMD body: decompose die + power map, iterate the thermal stencil.
+
+    The power map is a pure per-cell coefficient, so the kernel is
+    temporal-blocking-safe: ``time_block=k`` widens the static field's
+    padding along with the halo and yields bit-identical temperatures.
+    """
     power = generate_power_map(config)
     env = RuntimeEnv(ctx, mix)
     st = env.get_stencil()
-    st.configure(make_kernel(), config.shape, static_fields={"power": power})
+    st.configure(
+        make_kernel(),
+        config.shape,
+        static_fields={"power": power},
+        time_block=time_block,
+    )
     st.set_global_grid(np.full(config.shape, T_AMBIENT))
     st.run(config.iterations)
     env.finalize()

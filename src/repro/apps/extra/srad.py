@@ -19,6 +19,13 @@ The two stencil passes are *fused* into one radius-2 kernel: the update at
 inside a halo-2 kernel avoids a second evolving grid (the paper's §II-C
 single-object limitation) at the cost of redundant arithmetic, exactly the
 trade fused GPU stencils make.
+
+SRAD is **not** temporal-blocking-safe: the diffusion coefficient of
+sweep ``s+1`` depends on the *globally combined* statistics of sweep
+``s`` (fed back through ``on_value``), so sweeps cannot be batched
+between exchanges.  The runtime enforces this — ``run_until`` rejects
+``on_value`` callbacks when ``time_block > 1`` — and SRAD always runs
+at ``time_block=1``.
 """
 
 from __future__ import annotations

@@ -20,6 +20,7 @@ from typing import Callable
 
 from repro import __version__
 from repro.apps import heat3d, kmeans, minimd, moldyn, sobel
+from repro.apps.extra import jacobi2d
 from repro.cluster.presets import ohio_cluster
 from repro.core.env import DEVICE_MIXES
 from repro.metrics import fig5_chart, figures, format_table
@@ -31,6 +32,7 @@ _APPS: dict[str, Callable] = {
     "minimd": minimd.run,
     "sobel": sobel.run,
     "heat3d": heat3d.run,
+    "jacobi2d": jacobi2d.run,
 }
 
 _FIGURES = {
@@ -65,6 +67,17 @@ def _fig5_text(scale: str) -> str:
         )
     )
     return "\n\n".join(parts)
+
+
+def _time_block_arg(text: str):
+    """argparse type for ``--time-block``: positive int or ``auto``."""
+    from repro.apps.common import parse_time_block
+    from repro.util.errors import ValidationError
+
+    try:
+        return parse_time_block(text)
+    except ValidationError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from None
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -135,6 +148,15 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="iteration cap for --until-tol (default: the app's iteration count)",
     )
+    run_p.add_argument(
+        "--time-block",
+        type=_time_block_arg,
+        default=None,
+        metavar="K",
+        help="heat3d/jacobi2d/sobel: temporal blocking — K sweeps per deep "
+        "halo exchange (grids stay bit-identical), or 'auto' to pick K from "
+        "the link table's alpha/beta and the kernel's flop intensity",
+    )
     flt = run_p.add_argument_group(
         "fault injection (heat3d and kmeans; runs over the reliable comm layer)"
     )
@@ -193,6 +215,14 @@ def build_parser() -> argparse.ArgumentParser:
         choices=["text", "json"],
         default="text",
         help="report format on stdout (text report or machine-readable JSON)",
+    )
+    prof_p.add_argument(
+        "--time-block",
+        type=_time_block_arg,
+        default=None,
+        metavar="K",
+        help="heat3d/jacobi2d/sobel: temporal blocking factor or 'auto'; the "
+        "chosen K is reported alongside the profile",
     )
     prof_p.add_argument(
         "--trace-out",
@@ -307,6 +337,9 @@ def _device_details(cluster) -> str:
 
 _FAULT_APPS = ("heat3d", "kmeans")
 
+#: Apps whose stencil loop accepts the temporal-blocking knob.
+_TIME_BLOCK_APPS = ("heat3d", "jacobi2d", "sobel")
+
 
 def cmd_run(args: argparse.Namespace) -> str:
     cluster = ohio_cluster(args.nodes)
@@ -325,6 +358,12 @@ def cmd_run(args: argparse.Namespace) -> str:
             kwargs["max_iters"] = args.max_iters
     elif args.max_iters is not None:
         raise SystemExit("--max-iters requires --until-tol")
+    if args.time_block is not None:
+        if args.app not in _TIME_BLOCK_APPS:
+            raise SystemExit(
+                f"--time-block is only supported for {', '.join(_TIME_BLOCK_APPS)}"
+            )
+        kwargs["time_block"] = args.time_block
     plan = None
     if args.fault_seed is not None:
         from repro.faults import FaultPlan, RankCrash
@@ -375,6 +414,10 @@ def cmd_run(args: argparse.Namespace) -> str:
             f"residual {final:.3e} (tol {args.until_tol:.3e}, "
             f"{'converged' if rank0['converged'] else 'hit the iteration cap'})"
         )
+    if args.time_block is not None:
+        chosen = run.spmd.values[0]["time_block"]
+        source = " (auto-tuned)" if args.time_block == "auto" else ""
+        lines.append(f"  time block     : k={chosen}{source}")
     if plan is not None:
         s = plan.stats
         lines.append(
@@ -400,11 +443,21 @@ def cmd_profile(args: argparse.Namespace) -> str:
         run_kwargs["backend"] = args.backend
     if args.workers is not None:
         run_kwargs["workers"] = args.workers
+    if args.time_block is not None:
+        if args.app not in _TIME_BLOCK_APPS:
+            raise SystemExit(
+                f"--time-block is only supported for {', '.join(_TIME_BLOCK_APPS)}"
+            )
+        run_kwargs["time_block"] = args.time_block
     apprun, report = profile_app(
         args.app, nodes=args.nodes, mix=args.mix, scale=args.scale, **run_kwargs
     )
     report.verify()
     extra = []
+    if args.time_block is not None:
+        chosen = apprun.spmd.values[0]["time_block"]
+        source = " (auto-tuned)" if args.time_block == "auto" else ""
+        extra.append(f"time block: k={chosen}{source}")
     if args.trace_out is not None:
         obj = write_chrome_trace(args.trace_out, apprun.spmd.traces, report.makespan)
         extra.append(

@@ -122,3 +122,26 @@ def laptop_cluster(num_nodes: int = 2, cores: int = 4, gpus_per_node: int = 1) -
     return ClusterSpec(
         name=f"laptop-{num_nodes}n", node=node, num_nodes=num_nodes, network=network
     )
+
+
+def latency_cluster(num_nodes: int = 2, cores: int = 4, gpus_per_node: int = 1) -> ClusterSpec:
+    """A latency-dominated variant of :func:`laptop_cluster`.
+
+    Same nodes, but the network has a high per-message constant (WAN-ish
+    latency plus heavy send/recv overheads) and modest bandwidth — the
+    regime where per-sweep halo rounds put a latency floor under stencil
+    makespans and temporal blocking (``configure(time_block=...)``) pays
+    off.  Used by the ``stencil_timeblock`` bench case and the
+    time-block ablation.
+    """
+    base = laptop_cluster(num_nodes=num_nodes, cores=cores, gpus_per_node=gpus_per_node)
+    network = InterconnectSpec(
+        name="high-alpha-net",
+        latency=150 * US,
+        bandwidth=0.8 * GB,
+        send_overhead=20 * US,
+        recv_overhead=20 * US,
+    )
+    return ClusterSpec(
+        name=f"latency-{num_nodes}n", node=base.node, num_nodes=num_nodes, network=network
+    )

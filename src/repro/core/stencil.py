@@ -31,6 +31,20 @@ Grid decomposition and execution flow:
   planes be processed by a single GPU kernel launch; ``tiling=False``
   inflates CPU memory traffic and launches one GPU kernel per face
   (Fig. 7 ablates this).
+- **Temporal blocking** (``configure(time_block=k)``): the halo slabs are
+  allocated ``k * halo`` deep, one exchange round carries ``k`` depth-
+  ``halo`` strips per neighbour in a single coalesced message, and ``k``
+  kernel sweeps run per exchange over a *shrinking* valid region — sweep
+  ``s`` still computes ``(k-1-s)*halo`` cells past the interior toward
+  every rank neighbour, recomputing exactly the ghost values the
+  neighbour computes itself (bit-identical by construction, since both
+  run the same elementwise update on the same time-``t`` data).  The
+  redundant ghost flops are charged as real work through the device cost
+  model, so the trade — ``k`` x fewer message rounds (the per-message
+  α/LogGP constant amortizes; bytes do not) against extra compute — is
+  priced honestly.  ``time_block="auto"`` picks ``k`` per run from the
+  link table's α/β and the kernel's flop intensity via the closed form
+  in :func:`~repro.device.costmodel.time_block_sweep_cost`.
 
 Functional honesty: halo slabs are filled **only** by the exchange
 protocol, so a protocol bug produces wrong numbers, not just wrong times.
@@ -52,11 +66,16 @@ from repro.core.adaptive import AdaptivePartitioner
 from repro.core.api import StencilKernel
 from repro.core.env import RuntimeEnv
 from repro.core.partition import block_partition
+from repro.device.costmodel import time_block_sweep_cost
 from repro.device.cpu import CPUDevice
 from repro.device.gpu import GPUDevice
 from repro.util.errors import ConfigurationError
 
 _TAG_HALO = 201
+
+#: Search ceiling for ``time_block="auto"`` (beyond this the redundant
+#: ghost volume dwarfs any realistic per-message constant).
+MAX_AUTO_TIME_BLOCK = 16
 
 
 class StencilFields:
@@ -122,6 +141,17 @@ class StencilRuntime:
         #: (t0, rows, recvs) of an exchange begun ahead of the next step
         #: (see :meth:`begin_step_early`), or None.
         self._prestarted: tuple[float, np.ndarray, list] | None = None
+        #: Temporal-blocking factor (sweeps per exchange round) and the
+        #: resulting halo-slab depth ``time_block * halo``.
+        self._time_block = 1
+        self._halo_depth: int | None = None
+        #: Pack-buffer parity, flipped once per exchange round.  Session
+        #: local (not snapshotted): alternation is all the double-buffer
+        #: safety argument needs, and parity never affects charges.
+        self._xchg_parity = 1
+        #: Cumulative model-scale ghost-zone recomputation (flops), for
+        #: the ``halo.redundant_flops`` gauge.
+        self._redundant_flops = 0.0
 
     # -- configuration ---------------------------------------------------
     def configure(
@@ -135,6 +165,7 @@ class StencilRuntime:
         parameter: Any = None,
         static_fields: dict[str, np.ndarray] | None = None,
         exchange_fields: tuple[str, ...] = (),
+        time_block: int | str = 1,
     ) -> None:
         """Set up the decomposition (paper: grid size + virtual topology).
 
@@ -158,6 +189,14 @@ class StencilRuntime:
                 stays ``O(axes x 2)`` regardless of field count; charged
                 bytes grow with the payload, as they must).  Exchanged
                 fields must share the kernel dtype.
+            time_block: Temporal-blocking factor ``k``: halo slabs are
+                allocated ``k * halo`` deep, one exchange round runs per
+                ``k`` sweeps, and the redundant ghost-zone recomputation
+                is charged as real flops.  ``"auto"`` picks ``k`` from
+                the link table's α/β and the kernel's flop intensity.
+                Requires kernels that are temporal-blocking-safe: a pure
+                ``halo``-neighbourhood update with no cross-sweep
+                parameter mutation (see ``docs/writing_kernels.md``).
         """
         env = self.env
         ndim = len(global_shape)
@@ -203,23 +242,50 @@ class StencilRuntime:
             )
         self._elem_scale = float(np.prod(self._axis_ratio))
 
-        padded = tuple(ext + 2 * h for ext in self.local_shape)
+        # Neighbour ranks per axis (PROC_NULL outside non-periodic
+        # borders); needed before allocation because temporal blocking
+        # both validates against and widens the halo slabs.
+        self._neighbors = [self.cart.shift(ax, 1) for ax in range(ndim)]
+
+        # Validate exchange-field names up front: a typo'd or repeated
+        # name should fail here, not deep inside the first exchange.
+        names = tuple(exchange_fields)
+        seen: set[str] = set()
+        for name in names:
+            if name in seen:
+                raise ConfigurationError(
+                    f"duplicate exchange field {name!r}: each field's strips "
+                    f"already ride every halo message exactly once"
+                )
+            seen.add(name)
+            if not static_fields or name not in static_fields:
+                raise ConfigurationError(
+                    f"exchange field {name!r} is not a configured static field"
+                )
+        self._exchange_names = names
+
+        self._partitioner = AdaptivePartitioner(len(env.devices))
+        self._time_block = self._resolve_time_block(time_block, 1 + len(names))
+        self._halo_depth = self._time_block * h
+
+        padded = tuple(ext + 2 * self._halo_depth for ext in self.local_shape)
         self._src = np.zeros(padded, dtype=kernel.dtype)
         self._dst = np.zeros(padded, dtype=kernel.dtype)
-        self.interior = tuple(slice(h, h + ext) for ext in self.local_shape)
+        self.interior = tuple(
+            slice(self._halo_depth, self._halo_depth + ext) for ext in self.local_shape
+        )
 
         # Pooled halo-exchange state, fixed for the lifetime of this
-        # configuration: per-axis neighbour ranks, cached face slices and
-        # model-scale wire sizes, and a per-neighbour message coalescer
-        # holding the preallocated contiguous send strips.  Strips stay
-        # double-buffered by timestep parity: the buffer a message was
-        # packed into is not reused until two steps later, by which point
-        # the neighbour has provably consumed it (its next-step send on
-        # this axis cannot happen before it filled this step's halos).
-        # Packed payloads are therefore sent with ``owned=True`` — no
-        # snapshot copy — and single-strip receives land straight in the
-        # halo slabs via ``irecv(out=...)``.
-        self._neighbors = [self.cart.shift(ax, 1) for ax in range(ndim)]
+        # configuration: cached face slices and model-scale wire sizes,
+        # and a per-neighbour message coalescer holding the preallocated
+        # contiguous send strips.  Strips stay double-buffered by
+        # exchange-round parity: the buffer a message was packed into is
+        # not reused until two rounds later, by which point the neighbour
+        # has provably consumed it (its next-round send on this axis
+        # cannot happen before it filled this round's halos).  Packed
+        # payloads are therefore sent with ``owned=True`` — no snapshot
+        # copy — and single-strip receives land straight in the halo
+        # slabs via ``irecv(out=...)``.
         self._send_slices = {}
         self._halo_slices = {}
         for ax in range(ndim):
@@ -236,13 +302,8 @@ class StencilRuntime:
                         f"static field {name!r} has shape {field.shape}, "
                         f"expected {self.global_shape}"
                     )
-                self._fields[name] = self._pad_from_global(field, h)
-        self._exchange_names = tuple(exchange_fields)
+                self._fields[name] = self._pad_from_global(field, self._halo_depth)
         for name in self._exchange_names:
-            if name not in self._fields:
-                raise ConfigurationError(
-                    f"exchange field {name!r} is not a configured static field"
-                )
             if self._fields[name].dtype != kernel.dtype:
                 raise ConfigurationError(
                     f"exchange field {name!r} has dtype {self._fields[name].dtype}; "
@@ -264,11 +325,14 @@ class StencilRuntime:
                 self._coalescer.register(
                     (ax, side), (strip_shape,) * n_arrays, kernel.dtype
                 )
-        self._partitioner = AdaptivePartitioner(len(env.devices))
         self._rows = None
         self._timestep = 0
         self._prestarted = None
+        self._xchg_parity = 1
+        self._redundant_flops = 0.0
         self._configured = True
+        if env.trace.enabled:
+            env.trace.gauge("stencil.time_block", float(self._time_block))
         # Region lists and element totals are fixed for this configuration;
         # cache them so the step loop doesn't rebuild slice tuples or
         # recount elements every iteration.
@@ -276,6 +340,113 @@ class StencilRuntime:
         self._boundary = self._boundary_regions()
         self._inner_elems = self._region_elems(self._inner)
         self._boundary_elems = sum(self._region_elems(r) for r in self._boundary)
+
+    @property
+    def time_block(self) -> int:
+        """The resolved temporal-blocking factor (sweeps per exchange)."""
+        return self._time_block
+
+    def _resolve_time_block(self, time_block: int | str, n_arrays: int) -> int:
+        """Validate or auto-tune the blocking factor at configure time."""
+        h = self._kernel.halo
+        if isinstance(time_block, str):
+            if time_block != "auto":
+                raise ConfigurationError(
+                    f"time_block must be a positive int or 'auto', got {time_block!r}"
+                )
+            return self._auto_time_block(n_arrays)
+        k = int(time_block)
+        if k < 1:
+            raise ConfigurationError(f"time_block must be >= 1, got {time_block}")
+        if k > 1:
+            # Generalizes the 2*halo rule: deep send strips come from the
+            # interior, so every axis that actually exchanges needs room
+            # for both faces' k*h-deep strips.
+            for ax, ext in enumerate(self.local_shape):
+                lo, hi = self._neighbors[ax]
+                if (lo != PROC_NULL or hi != PROC_NULL) and ext < 2 * k * h:
+                    raise ConfigurationError(
+                        f"local extent {ext} on axis {ax} is below "
+                        f"2*time_block*halo={2 * k * h}; lower time_block, "
+                        f"use fewer processes or a bigger grid"
+                    )
+        return k
+
+    def _auto_time_block(self, n_arrays: int) -> int:
+        """Pick the blocking factor from the α/β link table (closed form).
+
+        Temporal blocking amortizes each halo message's per-message
+        constant α (latency + send/recv overheads) over ``k`` sweeps at
+        the price of ``k``-deep strips (bytes charged verbatim — the β
+        term does not amortize) and redundant ghost-zone flops over a
+        shrinking valid region.  The tuner evaluates
+        :func:`~repro.device.costmodel.time_block_sweep_cost` for every
+        feasible ``k`` and keeps the argmin; ties break toward smaller
+        ``k``, and ``k=1`` is always a candidate, so the choice is never
+        worse than the unblocked baseline under its own model.
+        """
+        env = self.env
+        h = self._kernel.halo
+        kmax = MAX_AUTO_TIME_BLOCK
+        has_neighbor = False
+        for ax, ext in enumerate(self.local_shape):
+            lo, hi = self._neighbors[ax]
+            if lo == PROC_NULL and hi == PROC_NULL:
+                continue
+            has_neighbor = True
+            kmax = min(kmax, ext // (2 * h))
+        if not has_neighbor or kmax <= 1:
+            return 1
+        # One (α, bytes, 1/bw) entry per halo message of one exchange
+        # round.  Ranks pack nodes contiguously (engine convention), so
+        # the neighbour's node — hence link class — follows from rank.
+        ctx = env.ctx
+        cluster = ctx.cluster
+        ranks_per_node = max(1, ctx.size // cluster.num_nodes)
+
+        def node_of(rank: int) -> int:
+            return min(rank // ranks_per_node, cluster.num_nodes - 1)
+
+        my_node = node_of(ctx.rank)
+        alphas: list[float] = []
+        sizes: list[float] = []
+        inv_bw: list[float] = []
+        for ax in range(len(self.local_shape)):
+            base = self._face_bytes_model(ax, depth=h) * n_arrays
+            for nbr in self._neighbors[ax]:
+                if nbr == PROC_NULL:
+                    continue
+                link = cluster.link_between(my_node, node_of(nbr))
+                alphas.append(link.latency + link.send_overhead + link.recv_overhead)
+                sizes.append(base)
+                inv_bw.append(1.0 / link.bandwidth)
+        # Aggregate per-element compute time of the device team.  Speed
+        # profiling has not run yet, so assume the team splits perfectly
+        # (harmonic aggregation of per-device rates).
+        rate = 0.0
+        for dev in env.devices:
+            rate += 1.0 / dev.elem_time(self._effective_work(dev), framework=True)
+        elem_time = 1.0 / rate
+        interior = float(np.prod(self.local_shape))
+        rows = self._partitioner.split(self.local_shape[0])
+        best_k, best_cost = 1, None
+        for k in range(1, kmax + 1):
+            ghost = [
+                (sum(self._sweep_counts(s, k, rows)) - interior) * self._elem_scale
+                for s in range(k)
+            ]
+            cost = time_block_sweep_cost(
+                k,
+                msg_alphas=alphas,
+                msg_bytes=sizes,
+                msg_inv_bandwidths=inv_bw,
+                ghost_elems=ghost,
+                interior_elems=interior * self._elem_scale,
+                elem_time=elem_time,
+            )
+            if best_cost is None or cost < best_cost:
+                best_k, best_cost = k, cost
+        return best_k
 
     def set_global_grid(self, grid: np.ndarray) -> None:
         """Load this rank's block from the (identical-on-all-ranks) grid."""
@@ -366,30 +537,33 @@ class StencilRuntime:
 
         ``side`` is -1 (low) or +1 (high); ``halo_side`` selects the halo
         slab (receive target) instead of the interior strip (send source).
+        Strips are ``time_block * halo`` deep: one exchange round carries
+        everything ``time_block`` sweeps consume.
 
         On every axis *other* than the exchanged one the strip spans the
         full padded extent (halos included): exchanging axes sequentially
         then propagates corner/edge values through the shared face
         neighbours — required for 9-point/27-point stencils.
         """
-        h = self._kernel.halo
+        d = self._halo_depth
         out = [slice(0, n) for n in self._src.shape]
         sl = self.interior[axis]
         if side < 0:
-            out[axis] = slice(sl.start - h, sl.start) if halo_side else slice(sl.start, sl.start + h)
+            out[axis] = slice(sl.start - d, sl.start) if halo_side else slice(sl.start, sl.start + d)
         else:
-            out[axis] = slice(sl.stop, sl.stop + h) if halo_side else slice(sl.stop - h, sl.stop)
+            out[axis] = slice(sl.stop, sl.stop + d) if halo_side else slice(sl.stop - d, sl.stop)
         return tuple(out)
 
-    def _face_bytes_model(self, axis: int) -> float:
-        """Model-scale bytes of one face strip."""
-        h = self._kernel.halo
-        elems = h
+    def _face_bytes_model(self, axis: int, depth: int | None = None) -> float:
+        """Model-scale bytes of one face strip (``depth`` defaults to the
+        registered slab depth ``time_block * halo``)."""
+        d = self._halo_depth if depth is None else depth
+        elems = d
         for ax, ext in enumerate(self.local_shape):
             if ax != axis:
                 elems *= ext
         scale = self._elem_scale / self._axis_ratio[axis]
-        return elems * scale * self._src.itemsize
+        return elems * scale * np.dtype(self._kernel.dtype).itemsize
 
     def _pack_cost(self, axis: int, rows: np.ndarray) -> float:
         """Charge step-1/2 packing of one face across the device split.
@@ -445,7 +619,7 @@ class StencilRuntime:
         pack_done = self._pack_cost(axis, rows)
         self.env.clock.advance_to(pack_done)
         wire = self._axis_wire[axis]
-        parity = self._timestep & 1
+        parity = self._xchg_parity
         sources = self._exchange_sources()
         if high_dst != PROC_NULL:
             strips = [arr[self._send_slices[(axis, +1)]] for arr in sources]
@@ -502,6 +676,10 @@ class StencilRuntime:
         so only axis 0 is posted here; :meth:`_finish_exchange` drives the
         rest.  Inner compute still overlaps the whole pipeline.
         """
+        # One parity flip per exchange round (== per temporal block):
+        # alternation is what keeps a pack buffer unused until the
+        # neighbour consumed the round before last.
+        self._xchg_parity ^= 1
         rows = self._rows if self._rows is not None else np.array([1])
         recvs = self._post_axis_recvs(0)
         self._send_axis(0, rows)
@@ -518,7 +696,9 @@ class StencilRuntime:
         :meth:`step` call picks the in-flight exchange up instead of
         starting its own.  Device timelines are reset here (normally
         :meth:`step`'s first act) so the pack charges land on the fresh
-        timelines of the step they belong to.
+        timelines of the step they belong to.  With temporal blocking the
+        speculation covers a whole block: the deep exchange posted here
+        feeds the next ``time_block`` sweeps.
         """
         self._check_configured()
         if self._prestarted is not None:
@@ -569,13 +749,17 @@ class StencilRuntime:
             self._fill_halos(axis_recvs)
 
     def _interdevice_exchange(self, ready: float) -> float:
-        """Step 6: boundary planes between neighbouring devices."""
+        """Step 6: boundary planes between neighbouring devices.
+
+        Planes are ``time_block * halo`` deep and swapped once per
+        exchange round — like the rank-level halos, the sweeps between
+        rounds recompute across the split instead of re-exchanging.
+        """
         env = self.env
         devices = env.devices
         if len(devices) < 2:
             return ready
-        h = self._kernel.halo
-        plane_elems = h
+        plane_elems = self._halo_depth
         for ax, ext in enumerate(self.local_shape):
             if ax != 0:
                 plane_elems *= ext
@@ -630,12 +814,26 @@ class StencilRuntime:
         interior box.  Costs are split by each device's share of the axis-0
         rows.  Returns (finish time, per-device busy seconds).
         """
+        shares = (rows / max(1, int(rows.sum()))).tolist()
+        return self._charge_counts(
+            [total * share for share in shares], n_regions, phase, ready
+        )
+
+    def _charge_counts(
+        self,
+        counts: list[float],
+        n_regions: int,
+        phase: str,
+        ready: float,
+    ) -> tuple[float, np.ndarray]:
+        """Charge per-device virtual time for explicit per-device element
+        counts (the temporal-blocking path computes ghost-extended counts
+        itself; :meth:`_charge_regions` derives them from row shares)."""
         env = self.env
         busy = np.zeros(len(env.devices))
         finish = ready
-        shares = (rows / max(1, int(rows.sum()))).tolist()
         for d, dev in enumerate(env.devices):
-            n_model = total * shares[d] * self._elem_scale
+            n_model = counts[d] * self._elem_scale
             if n_model <= 0:
                 continue
             work = self._effective_work(dev)
@@ -660,7 +858,16 @@ class StencilRuntime:
 
     # -- one iteration -----------------------------------------------------------------
     def step(self) -> None:
-        """One stencil iteration: exchange halos, apply kernel, swap buffers."""
+        """One stencil iteration: exchange halos, apply kernel, swap buffers.
+
+        With ``time_block=k > 1`` one call is one full temporal block —
+        one deep exchange plus ``k`` sweeps (the timestep counter
+        advances by ``k``).  Use :meth:`run` to execute a sweep count
+        that is not a multiple of ``k``.
+        """
+        if self._configured and self._time_block > 1:
+            self._blocked_step(self._time_block)
+            return
         self._check_configured()
         if self._kernel is None:
             raise ConfigurationError("no kernel configured")
@@ -723,11 +930,190 @@ class StencilRuntime:
             env.trace.record("compute", "ST:step", t0, clock.now, {"step": self._timestep})
 
     def run(self, iterations: int) -> None:
-        """Run ``iterations`` stencil steps (paper: the time-step loop)."""
+        """Run ``iterations`` stencil *sweeps* (paper: the time-step loop).
+
+        With temporal blocking the sweeps execute in blocks of
+        ``time_block``; a final partial block still exchanges at the
+        registered ``time_block * halo`` depth (the buffers and message
+        layouts are fixed at configure time — the overshoot bytes are
+        charged honestly) but only sweeps the remaining iterations, so
+        the run lands exactly on ``iterations`` applications.
+        """
         if iterations < 1:
             raise ConfigurationError(f"iterations must be >= 1, got {iterations}")
-        for _ in range(iterations):
-            self.step()
+        k = self._time_block if self._configured else 1
+        if k <= 1:
+            for _ in range(iterations):
+                self.step()
+            return
+        left = iterations
+        while left > 0:
+            sweeps = min(k, left)
+            self._blocked_step(sweeps)
+            left -= sweeps
+
+    # -- temporal blocking (deep ghost zones) -------------------------------------------
+    def _sweep_counts(self, s: int, sweeps: int, rows: np.ndarray) -> list[float]:
+        """Per-device functional element counts charged for sweep ``s``.
+
+        The valid region shrinks by ``halo`` toward every *open* side per
+        sweep: at sweep ``s`` the computed box still extends
+        ``e = (sweeps-1-s)*halo`` past the interior toward rank
+        neighbours (ghost-zone recomputation), and every device
+        additionally recomputes ``e`` rows past its own split planes —
+        inter-device planes are exchanged once per block, so the sweeps
+        in between must recompute across them too.  Sides at a
+        non-periodic global border never extend.
+        """
+        h = self._kernel.halo
+        e = (sweeps - 1 - s) * h
+        cross = 1.0
+        for ax in range(1, len(self.local_shape)):
+            lo, hi = self._neighbors[ax]
+            cross *= self.local_shape[ax] + e * ((lo != PROC_NULL) + (hi != PROC_NULL))
+        lo0, hi0 = self._neighbors[0]
+        n_dev = len(rows)
+        counts: list[float] = []
+        for d in range(n_dev):
+            r = float(rows[d])
+            if r <= 0:
+                counts.append(0.0)
+                continue
+            open_lo = (d > 0) or (lo0 != PROC_NULL)
+            open_hi = (d < n_dev - 1) or (hi0 != PROC_NULL)
+            counts.append((r + e * (open_lo + open_hi)) * cross)
+        return counts
+
+    def _block_regions(self, sweeps: int) -> list[tuple[slice, ...]]:
+        """Functional compute region for each sweep of one temporal block.
+
+        Sweep ``s`` writes the interior extended by ``(sweeps-1-s)*halo``
+        toward every side with a rank neighbour.  Each region plus its
+        ``halo``-neighbourhood is contained in the previous sweep's
+        region (or, for sweep 0, in the freshly exchanged deep slabs), so
+        every ghost value recomputed here equals bit-for-bit what the
+        owning rank computes: both run the same elementwise update on the
+        same time-``t`` data.  Global-border halo cells are never written
+        and stay zero in both buffers — the same convention sequential
+        references use.
+        """
+        h = self._kernel.halo
+        out: list[tuple[slice, ...]] = []
+        for s in range(sweeps):
+            e = (sweeps - 1 - s) * h
+            region = []
+            for ax, sl in enumerate(self.interior):
+                lo, hi = self._neighbors[ax]
+                region.append(
+                    slice(
+                        sl.start - (e if lo != PROC_NULL else 0),
+                        sl.stop + (e if hi != PROC_NULL else 0),
+                    )
+                )
+            out.append(tuple(region))
+        return out
+
+    def _blocked_step(self, sweeps: int) -> None:
+        """One temporal block: one deep halo exchange, then ``sweeps`` sweeps.
+
+        Virtual charging mirrors :meth:`step` for sweep 0 — the inner box
+        overlaps the wire, the rest of the (ghost-extended) sweep-0
+        region waits for halos and device planes — then sweeps ``1..k-1``
+        are charged sequentially: pure local compute over a shrinking
+        region, with the redundant ghost elements priced as real flops
+        through the same device cost model.  The functional sweeps run
+        afterwards over the exact shrinking regions, so gathered grids
+        are bit-identical to ``time_block=1``.
+        """
+        self._check_configured()
+        if self._kernel is None:
+            raise ConfigurationError("no kernel configured")
+        env = self.env
+        clock = env.clock
+        pre = self._prestarted
+        if pre is None:
+            t0 = clock.now
+            for dev in env.devices:
+                dev.reset(start=t0)
+            rows = self._device_rows()
+            self._rows = rows
+            recvs = self._begin_exchange()
+        else:
+            # The deep exchange (and the device resets) already happened
+            # in begin_step_early(); pick up the in-flight receives.
+            self._prestarted = None
+            t0, rows, recvs = pre
+        n_bound = len(self._boundary)
+        counts0 = self._sweep_counts(0, sweeps, rows)
+        shares = (rows / max(1, int(rows.sum()))).tolist()
+        # Sweep 0 splits like a plain step: the inner box overlaps the
+        # exchange; everything else in its ghost-extended region is the
+        # "boundary" remainder (strictly positive — the extension only
+        # ever grows the region past inner+boundary).
+        remainder0 = [
+            counts0[d] - self._inner_elems * shares[d] for d in range(len(counts0))
+        ]
+
+        if self.overlap:
+            inner_done, busy_inner = self._charge_regions(
+                self._inner_elems, 1, rows, "inner", clock.now
+            )
+            self._finish_exchange(recvs)
+            dev_xchg_done = self._interdevice_exchange(clock.now)
+            ready = max(inner_done, dev_xchg_done)
+            bound_done, busy_bound = self._charge_counts(
+                remainder0, n_bound, "boundary", ready
+            )
+            end = max(inner_done, bound_done)
+        else:
+            self._finish_exchange(recvs)
+            dev_xchg_done = self._interdevice_exchange(clock.now)
+            inner_done, busy_inner = self._charge_regions(
+                self._inner_elems, 1, rows, "inner", dev_xchg_done
+            )
+            bound_done, busy_bound = self._charge_counts(
+                remainder0, n_bound, "boundary", inner_done
+            )
+            end = bound_done
+        busy = busy_inner + busy_bound
+        total_counts = np.asarray(counts0, dtype=float)
+        for s in range(1, sweeps):
+            counts = self._sweep_counts(s, sweeps, rows)
+            end, busy_s = self._charge_counts(counts, 1, "sweep", end)
+            busy += busy_s
+            total_counts += np.asarray(counts, dtype=float)
+        clock.advance_to(end)
+
+        # Functional sweeps over the shrinking regions; the per-sweep
+        # hook and the buffer swap run exactly as in single-step mode.
+        for region in self._block_regions(sweeps):
+            self._kernel.apply(self._src, self._dst, region, self._effective_parameter())
+            self._after_apply(self._src, self._dst)
+            self._src, self._dst = self._dst, self._src
+            self._timestep += 1
+
+        if self.adaptive and not self._partitioner.profiled:
+            if busy.sum() > 0:
+                # Effective per-sweep element counts (ghost rows included)
+                # keep the speed profile unbiased by the extra work.
+                self._partitioner.observe(total_counts / sweeps, np.maximum(busy, 1e-30))
+
+        interior_elems = float(self._inner_elems + self._boundary_elems)
+        self._redundant_flops += (
+            max(0.0, float(total_counts.sum()) - sweeps * interior_elems)
+            * self._elem_scale
+            * self._kernel.work.flops_per_elem
+        )
+        if env.trace.enabled:
+            env.trace.gauge("stencil.time_block", float(self._time_block))
+            env.trace.gauge("halo.redundant_flops", self._redundant_flops)
+            env.trace.record(
+                "compute",
+                "ST:block",
+                t0,
+                clock.now,
+                {"step": self._timestep, "sweeps": sweeps},
+            )
 
     # -- checkpoint/restart ------------------------------------------------------------
     def snapshot_state(self) -> dict:
@@ -735,9 +1121,14 @@ class StencilRuntime:
 
         Captures exactly what one iteration mutates: both grid buffers
         (halos included — a restored rank must not need a fresh exchange
-        to resume), the timestep counter (send-strip parity), the current
-        device split, any mutable exchanged fields, and the adaptive
-        partitioner's observed profile.  The partitioner state matters
+        to resume), the timestep counter, the current device split, any
+        mutable exchanged fields, and the adaptive partitioner's observed
+        profile.  The pack-buffer parity is deliberately *not* captured:
+        it is a session-local double-buffering detail that keeps
+        alternating correctly from any starting value and never affects
+        charges.  With temporal blocking, snapshots land on block
+        boundaries (the checkpoint drivers step whole blocks), so no
+        intra-block position needs saving either.  The partitioner state matters
         because a crash-restarted rank rebuilds its runtime with a fresh,
         *unprofiled* partitioner: without the saved speeds it would
         re-profile from an even split while the surviving ranks keep

@@ -97,6 +97,13 @@ class StencilReduceRuntime(StencilRuntime):
         self._reduce_fn: Callable[[np.ndarray, np.ndarray], Any] | None = None
         self._local_value: Any = None
         self._conv: dict | None = None
+        #: Per-sweep local values of the current temporal block (armed by
+        #: :meth:`_fused_block`); None outside blocked convergence loops.
+        self._block_values: list[Any] | None = None
+        #: Per-sweep interior snapshots of the current block, kept only
+        #: when a tolerance is set so a mid-block convergence can rewind
+        #: the grid to the converged sweep.
+        self._block_grids: list[np.ndarray] | None = None
 
     # -- fused charging and functional hook ------------------------------
     def _effective_work(self, dev) -> Any:
@@ -109,7 +116,14 @@ class StencilReduceRuntime(StencilRuntime):
 
     def _after_apply(self, src: np.ndarray, dst: np.ndarray) -> None:
         if self._reduce_fn is not None:
+            # Interiors are always fully valid, even mid-block: every
+            # sweep's region contains the interior, so the fused local
+            # value is bitwise the one an unblocked sweep produces.
             self._local_value = self._reduce_fn(src[self.interior], dst[self.interior])
+            if self._block_values is not None:
+                self._block_values.append(self._local_value)
+            if self._block_grids is not None:
+                self._block_grids.append(dst[self.interior].copy())
 
     # -- the fused combine ----------------------------------------------
     def _combine(self, local: Any, reduce_op: str) -> Any:
@@ -150,6 +164,18 @@ class StencilReduceRuntime(StencilRuntime):
         speculative halo send, the global combine (``reduce_op`` over the
         ranks' local values), then the convergence test.
 
+        With temporal blocking (``configure(time_block=k)``) the loop
+        runs block-at-a-time: ``k`` fused sweeps per exchange, one
+        *vector* combine folding all ``k`` local values at once (bitwise
+        identical per component to ``k`` scalar combines), speculation
+        covering the next block's deep exchange, and checkpoint
+        snapshots on block boundaries.  Residual histories and final
+        grids match the ``time_block=1`` loop bit for bit, including a
+        mid-block convergence (the grid rewinds to the converged sweep).
+        ``on_value`` is incompatible with ``time_block > 1`` — it feeds
+        the combined value back between sweeps, which a blocked loop
+        cannot honour.
+
         Args:
             max_iters: Hard iteration cap (>= 1).
             tol: Stop once ``residual_fn(combined) <= tol``; ``None``
@@ -177,6 +203,13 @@ class StencilReduceRuntime(StencilRuntime):
         self._check_configured()
         if max_iters < 1:
             raise ConfigurationError(f"max_iters must be >= 1, got {max_iters}")
+        if self._time_block > 1 and on_value is not None:
+            raise ConfigurationError(
+                "on_value feeds the combined value back between sweeps and is "
+                "incompatible with time_block > 1 (temporal blocking only "
+                "combines once per block); configure time_block=1 for "
+                "statistics-coupled loops like SRAD"
+            )
         if reduce_fn is None:
             reduce_fn = l2_sq_residual
             if residual_fn is None:
@@ -185,17 +218,42 @@ class StencilReduceRuntime(StencilRuntime):
             residual_fn = float
         self._reduce_fn = reduce_fn
         self._conv = {"iterations": 0, "residuals": [], "values": [], "converged": False}
+        blocked = self._time_block > 1
         try:
             if checkpoint is not None:
+                if blocked:
+                    # One manager iteration per temporal block: snapshots
+                    # land on block boundaries, so a crash-restart inside
+                    # a block replays the whole block to the same
+                    # bit-identical grid and history.
+                    def body(_it: int) -> bool:
+                        return self._fused_block(
+                            tol, reduce_op, residual_fn, max_iters, speculate=False
+                        )
 
-                def body(_it: int) -> bool:
-                    return self._fused_iteration(
-                        tol, reduce_op, residual_fn, on_value, speculate=False
+                    n_blocks = -(-max_iters // self._time_block)
+                    checkpoint.run_convergence(
+                        n_blocks, body, self.snapshot_state, self.restore_state
                     )
+                else:
 
-                checkpoint.run_convergence(
-                    max_iters, body, self.snapshot_state, self.restore_state
-                )
+                    def body(_it: int) -> bool:
+                        return self._fused_iteration(
+                            tol, reduce_op, residual_fn, on_value, speculate=False
+                        )
+
+                    checkpoint.run_convergence(
+                        max_iters, body, self.snapshot_state, self.restore_state
+                    )
+            elif blocked:
+                while self._conv["iterations"] < max_iters:
+                    left = max_iters - self._conv["iterations"]
+                    speculate = left > min(self._time_block, left)
+                    if self._fused_block(
+                        tol, reduce_op, residual_fn, max_iters, speculate=speculate
+                    ):
+                        break
+                self.cancel_begun_step()
             else:
                 while self._conv["iterations"] < max_iters:
                     speculate = self._conv["iterations"] + 1 < max_iters
@@ -248,6 +306,66 @@ class StencilReduceRuntime(StencilRuntime):
         done = tol is not None and residual <= tol
         if done:
             conv["converged"] = True
+        return done
+
+    def _fused_block(
+        self,
+        tol: float | None,
+        reduce_op: str,
+        residual_fn: Callable[[Any], float],
+        max_iters: int,
+        *,
+        speculate: bool,
+    ) -> bool:
+        """One temporal block of fused sweeps + a single vector combine.
+
+        Every sweep's local value is captured by the :meth:`_after_apply`
+        hook; the block then folds all of them in *one* collective —
+        recursive doubling applies the combine ufunc elementwise, so each
+        component of the folded vector is bitwise the scalar a per-sweep
+        ``allreduce`` would have produced (same rank tree, same IEEE op
+        order).  Residuals are consumed sweep by sweep against ``tol``:
+        on a mid-block hit the grid rewinds to the converged sweep's
+        interior (the overshot sweeps' charges stay — the block was
+        really computed) and the history ends exactly where the
+        ``time_block=1`` loop's would.  Returns True to stop.
+        """
+        env = self.env
+        conv = self._conv
+        sweeps = min(self._time_block, max_iters - conv["iterations"])
+        self._block_values = []
+        self._block_grids = [] if tol is not None else None
+        try:
+            self._blocked_step(sweeps)
+            values = self._block_values
+            grids = self._block_grids
+        finally:
+            self._block_values = None
+            self._block_grids = None
+        if speculate:
+            # Post the next block's deep exchange before the combine so
+            # the strips' flight time hides under the collective.
+            self.begin_step_early()
+        combined = self._combine(np.stack([np.asarray(v) for v in values]), reduce_op)
+        done = False
+        for s in range(sweeps):
+            value = combined[s]
+            conv["iterations"] += 1
+            conv["values"].append(value)
+            residual = float(residual_fn(value))
+            conv["residuals"].append(residual)
+            if env.trace.enabled:
+                env.trace.count("stencil_reduce.steps")
+                env.trace.gauge("stencil_reduce.residual", residual)
+            if tol is not None and residual <= tol:
+                conv["converged"] = True
+                done = True
+                if s < sweeps - 1:
+                    # The block overshot: functionally rewind the grid to
+                    # the converged sweep (halos are stale but the loop
+                    # is over; results read interiors only).
+                    self._src[self.interior] = grids[s]
+                break
         return done
 
     # -- checkpoint/restart ----------------------------------------------

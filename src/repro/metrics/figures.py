@@ -304,7 +304,8 @@ def ablations(scale: str = "quick") -> list[dict]:
     - reduction localization on/off (Kmeans GPU),
     - two-stream pipelining on/off (Kmeans GPU),
     - adaptive vs static-even device partitioning (Moldyn heterogeneous),
-    - dynamic chunk size sweep (Kmeans heterogeneous).
+    - dynamic chunk size sweep (Kmeans heterogeneous),
+    - temporal-blocking factor sweep (Jacobi2D, per cluster preset).
     """
     configs = _configs(scale)
     cluster = ohio_cluster(1)
@@ -367,6 +368,34 @@ def ablations(scale: str = "quick") -> list[dict]:
                 "time_s": res.makespan,
             }
         )
+    rows.extend(_time_block_ablation())
+    return rows
+
+
+def _time_block_ablation() -> list[dict]:
+    """Makespan vs temporal-blocking factor, per cluster preset.
+
+    Fixed-iteration Jacobi2D (tol below reach, so every k runs the same 24
+    sweeps): on the bandwidth-rich laptop preset blocking barely matters,
+    on the latency-dominated preset the per-message alpha amortization
+    shows up directly — the Fig. 7-style optimization trade.
+    """
+    from repro.apps.extra import jacobi2d
+    from repro.cluster.presets import laptop_cluster, latency_cluster
+
+    config = jacobi2d.Jacobi2DConfig(shape=(48, 48), tol=1e-12, max_iters=24)
+    rows = []
+    for preset, cl in (("laptop", laptop_cluster(2)), ("latency", latency_cluster(2))):
+        for k in (1, 2, 4):
+            res = jacobi2d.run(cl, config, mix="cpu", time_block=k)
+            rows.append(
+                {
+                    "ablation": "time-block",
+                    "setting": f"k={k}@{preset}",
+                    "app": "jacobi2d/cpu",
+                    "time_s": res.makespan,
+                }
+            )
     return rows
 
 

@@ -18,6 +18,7 @@ from dataclasses import dataclass
 from typing import Any, Callable
 
 from repro.apps import heat3d, kmeans, minimd, moldyn, sobel
+from repro.apps.extra import jacobi2d
 from repro.apps.common import AppRun
 from repro.cluster.presets import ohio_cluster
 from repro.cluster.specs import ClusterSpec
@@ -55,6 +56,10 @@ PROFILE_APPS: dict[str, _ProfiledApp] = {
     "heat3d": _ProfiledApp(
         heat3d.run,
         lambda: heat3d.Heat3DConfig(functional_shape=(36, 36, 36), simulated_steps=3),
+    ),
+    "jacobi2d": _ProfiledApp(
+        jacobi2d.run,
+        lambda: jacobi2d.Jacobi2DConfig(shape=(32, 32), tol=1e-3, max_iters=60),
     ),
 }
 

@@ -238,6 +238,73 @@ def test_thread_and_process_backends_bit_identical():
     np.testing.assert_array_equal(threads.values[0]["grid"], procs.values[0]["grid"])
 
 
+def _reliable_fused(ctx, time_block=1):
+    """run_until over the reliable layer — speculation rides a lossy wire."""
+    from repro.comm.reliable import ReliableComm
+
+    ctx.comm = ReliableComm(ctx.comm)
+    env = RuntimeEnv(ctx, "cpu")
+    st = env.get_stencil_reduce()
+    st.configure(_kernel(), GRID.shape, time_block=time_block)
+    st.set_global_grid(GRID)
+    res = st.run_until(max_iters=MAX_ITERS, tol=TOL)
+    grid = st.gather_global()
+    env.finalize()
+    ctx.comm.flush()
+    return {"grid": grid, "iterations": res.iterations, "residuals": res.residuals}
+
+
+@pytest.mark.parametrize("time_block", [1, 4])
+def test_speculative_halos_survive_lossy_network(time_block):
+    """Drop/delay rules hitting the speculative halo messages (a whole
+    block of them when time_block > 1) must leave grids and residual
+    histories bit-identical to the fault-free run — retransmits may only
+    move virtual time."""
+    plain = run_spmd(fused_program, nodes=2, kwargs={"mix": "cpu"})
+    clean = run_spmd(lambda ctx: _reliable_fused(ctx, time_block), nodes=2)
+    plan = FaultPlan.lossy(seed=5, drop=0.08, dup=0.04, delay=0.1, max_delay=1e-4)
+    lossy = run_spmd(
+        lambda ctx: _reliable_fused(ctx, time_block), nodes=2, fault_plan=plan
+    )
+    assert plan.stats.drops > 0 and plan.stats.delays > 0
+    for got in (clean.values[0], lossy.values[0]):
+        assert got["iterations"] == plain.values[0]["iterations"]
+        assert got["residuals"] == plain.values[0]["residuals"]
+        np.testing.assert_array_equal(got["grid"], plain.values[0]["grid"])
+
+
+def _cancel_under_faults(ctx):
+    """Speculate, cancel while the halos are (mis)travelling, keep going.
+
+    The cancel drain must keep FIFO hygiene intact: the steps after the
+    cancel consume exactly their own halo messages, never a stale
+    speculative strip, so the final grid matches the never-speculated run.
+    """
+    from repro.comm.reliable import ReliableComm
+
+    ctx.comm = ReliableComm(ctx.comm)
+    env = RuntimeEnv(ctx, "cpu")
+    st = env.get_stencil_reduce()
+    st.configure(_kernel(), GRID.shape)
+    st.set_global_grid(GRID)
+    st.step()
+    st.begin_step_early()
+    st.cancel_begun_step()
+    st.run(3)
+    grid = st.gather_global()
+    env.finalize()
+    ctx.comm.flush()
+    return grid
+
+
+def test_cancel_begun_step_under_faults_keeps_fifo_hygiene():
+    clean = run_spmd(_cancel_under_faults, nodes=2).values[0]
+    plan = FaultPlan.lossy(seed=9, drop=0.2, dup=0.1, delay=0.2, max_delay=1e-4)
+    faulty = run_spmd(_cancel_under_faults, nodes=2, fault_plan=plan).values[0]
+    assert plan.stats.drops > 0
+    np.testing.assert_array_equal(faulty, clean)
+
+
 def test_snapshot_with_speculative_exchange_in_flight_rejected():
     def prog(ctx):
         env = RuntimeEnv(ctx, "cpu")
