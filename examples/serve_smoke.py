@@ -1,0 +1,89 @@
+"""Job-service smoke: a mixed batch over HTTP, bit-identical to direct runs.
+
+Starts the multi-tenant job server in-process, submits a mixed batch of
+jobs over its HTTP API — heat3d, kmeans, moldyn, plus a faulty
+checkpointed heat3d run — then checks that every job completes, that each
+served makespan is bit-identical (repr-equal) to running the same spec
+directly through the engine, and that resubmitting an identical spec is
+answered from the content-addressed result cache without re-execution.
+
+This is also the CI "service smoke" step.
+
+Usage:  python examples/serve_smoke.py
+"""
+
+from repro.faults import FaultPlan, RankCrash
+from repro.serve import JobServer, JobSpec, ServeClient, execute_job
+
+HEAT = {"functional_shape": [12, 12, 12], "simulated_steps": 2}
+BATCH = [
+    JobSpec(app="heat3d", nodes=2, preset="laptop", mix="cpu", params=HEAT),
+    JobSpec(
+        app="kmeans",
+        nodes=2,
+        preset="laptop",
+        mix="cpu",
+        params={"functional_points": 3000, "k": 8},
+    ),
+    JobSpec(
+        app="moldyn",
+        nodes=2,
+        preset="laptop",
+        mix="cpu",
+        params={"functional_nodes": 800, "simulated_steps": 2},
+    ),
+    # One lossy run that crashes rank 1 and recovers from a checkpoint.
+    JobSpec(
+        app="heat3d",
+        nodes=2,
+        preset="laptop",
+        mix="cpu",
+        params={"functional_shape": [12, 12, 12], "simulated_steps": 4},
+        options={"reliable": True, "checkpoint_every": 2},
+        fault_plan=FaultPlan.lossy(
+            seed=7,
+            drop=0.02,
+            dup=0.01,
+            delay=0.02,
+            max_delay=1e-4,
+            crashes=[RankCrash(rank=1, at_time=0.05, restart_cost=0.5)],
+        ).to_dict(),
+    ),
+]
+
+
+def main() -> None:
+    print(f"direct runs ({len(BATCH)} specs) ...")
+    direct = [execute_job(spec) for spec in BATCH]
+
+    with JobServer(port=0, rank_budget=8) as server:
+        client = ServeClient(server.url)
+        print(f"server up at {server.url}; submitting the same batch")
+        jobs = [client.submit(spec) for spec in BATCH]
+        for spec, job, expected in zip(BATCH, jobs, direct):
+            done = client.wait(job["id"], timeout=600.0)
+            assert done["state"] == "done", (spec.app, done)
+            served = client.result(job["id"])["result"]
+            match = repr(served["makespan"]) == repr(expected["makespan"])
+            assert match, (spec.app, served["makespan"], expected["makespan"])
+            print(
+                f"  {job['id']}  {spec.app:<7} makespan={served['makespan']!r}"
+                "  == direct run"
+            )
+        faulty = client.result(jobs[-1]["id"])["result"]
+        assert faulty["fault_stats"]["crashes_consumed"] == 1
+
+        again = client.submit(BATCH[0])
+        assert again["cached"] and again["state"] == "done"
+        stats = client.stats()
+        assert stats["cache"]["hits"] == 1
+        assert stats["executed"] == len(BATCH)  # the resubmit ran nothing
+        print(
+            f"resubmit: cache hit ({stats['cache']['hits']} hit, "
+            f"{stats['executed']} jobs executed)"
+        )
+    print("service smoke OK: all jobs bit-identical to direct runs")
+
+
+if __name__ == "__main__":
+    main()

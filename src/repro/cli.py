@@ -10,6 +10,9 @@ Examples::
     python -m repro profile heat3d --scale quick
     python -m repro figure table2 --scale quick
     python -m repro codesize
+    python -m repro serve --port 8642
+    python -m repro submit heat3d --nodes 4 --param simulated_steps=2
+    python -m repro jobs --stats
 """
 
 from __future__ import annotations
@@ -157,38 +160,45 @@ def build_parser() -> argparse.ArgumentParser:
         "halo exchange (grids stay bit-identical), or 'auto' to pick K from "
         "the link table's alpha/beta and the kernel's flop intensity",
     )
-    flt = run_p.add_argument_group(
-        "fault injection (heat3d and kmeans; runs over the reliable comm layer)"
-    )
-    flt.add_argument(
-        "--fault-seed",
-        type=int,
-        default=None,
-        metavar="N",
-        help="enable a deterministic fault plan with this seed",
-    )
-    flt.add_argument("--drop", type=float, default=0.05, help="message drop probability")
-    flt.add_argument("--dup", type=float, default=0.02, help="message duplicate probability")
-    flt.add_argument("--delay", type=float, default=0.05, help="message extra-delay probability")
-    flt.add_argument(
-        "--max-delay", type=float, default=1e-4, help="max extra delay in virtual seconds"
-    )
-    flt.add_argument(
-        "--crash-rank", type=int, default=None, metavar="R", help="rank to crash once"
-    )
-    flt.add_argument(
-        "--crash-at", type=float, default=0.0, metavar="T", help="virtual crash time (s)"
-    )
-    flt.add_argument(
-        "--restart-cost", type=float, default=1.0, help="virtual restart stall (s)"
-    )
-    flt.add_argument(
-        "--checkpoint-every",
-        type=int,
-        default=None,
-        metavar="K",
-        help="snapshot every K iterations (required with --crash-rank)",
-    )
+    def add_fault_args(p: argparse.ArgumentParser) -> None:
+        flt = p.add_argument_group(
+            "fault injection (heat3d and kmeans; runs over the reliable comm layer)"
+        )
+        flt.add_argument(
+            "--fault-seed",
+            type=int,
+            default=None,
+            metavar="N",
+            help="enable a deterministic fault plan with this seed",
+        )
+        flt.add_argument("--drop", type=float, default=0.05, help="message drop probability")
+        flt.add_argument(
+            "--dup", type=float, default=0.02, help="message duplicate probability"
+        )
+        flt.add_argument(
+            "--delay", type=float, default=0.05, help="message extra-delay probability"
+        )
+        flt.add_argument(
+            "--max-delay", type=float, default=1e-4, help="max extra delay in virtual seconds"
+        )
+        flt.add_argument(
+            "--crash-rank", type=int, default=None, metavar="R", help="rank to crash once"
+        )
+        flt.add_argument(
+            "--crash-at", type=float, default=0.0, metavar="T", help="virtual crash time (s)"
+        )
+        flt.add_argument(
+            "--restart-cost", type=float, default=1.0, help="virtual restart stall (s)"
+        )
+        flt.add_argument(
+            "--checkpoint-every",
+            type=int,
+            default=None,
+            metavar="K",
+            help="snapshot every K iterations (required with --crash-rank)",
+        )
+
+    add_fault_args(run_p)
     run_p.add_argument(
         "--trace-out",
         metavar="PATH",
@@ -237,6 +247,100 @@ def build_parser() -> argparse.ArgumentParser:
     fig_p.add_argument("--scale", choices=["quick", "full"], default="quick")
 
     sub.add_parser("codesize", help="print the Fig. 6 code-size comparison")
+
+    def add_url_arg(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--url",
+            default=None,
+            metavar="URL",
+            help="job-server address (default: REPRO_SERVE_URL, else "
+            "http://127.0.0.1:8642)",
+        )
+
+    serve_p = sub.add_parser(
+        "serve", help="run the multi-tenant job server (HTTP, foreground)"
+    )
+    serve_p.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve_p.add_argument("--port", type=int, default=8642, help="bind port (0 = ephemeral)")
+    serve_p.add_argument(
+        "--rank-budget",
+        type=int,
+        default=64,
+        metavar="N",
+        help="max simulated ranks in flight across all running jobs",
+    )
+    serve_p.add_argument(
+        "--cache-size",
+        type=int,
+        default=128,
+        metavar="N",
+        help="content-addressed result cache entries",
+    )
+    serve_p.add_argument(
+        "--max-queued", type=int, default=1024, metavar="N", help="admission queue bound"
+    )
+    serve_p.add_argument(
+        "--verbose", action="store_true", help="log every HTTP request to stderr"
+    )
+
+    sub_p = sub.add_parser("submit", help="submit one job to a running job server")
+    sub_p.add_argument("app", choices=sorted(_APPS))
+    sub_p.add_argument("--nodes", type=int, default=4, help="cluster nodes")
+    sub_p.add_argument(
+        "--mix", choices=sorted(DEVICE_MIXES), default="cpu+2gpu", help="device mix per node"
+    )
+    sub_p.add_argument(
+        "--preset",
+        choices=["ohio", "laptop", "latency"],
+        default="ohio",
+        help="cluster preset the server should build",
+    )
+    sub_p.add_argument(
+        "--scale", choices=["quick", "full"], default="quick", help="config size baseline"
+    )
+    sub_p.add_argument(
+        "--param",
+        action="append",
+        default=[],
+        metavar="K=V",
+        help="config override (repeatable), e.g. --param simulated_steps=2 "
+        "--param 'functional_shape=[24,24,24]'; values parse as JSON, "
+        "falling back to strings",
+    )
+    sub_p.add_argument(
+        "--option",
+        action="append",
+        default=[],
+        metavar="K=V",
+        help="run-function keyword (repeatable), e.g. --option overlap=false",
+    )
+    sub_p.add_argument(
+        "--priority", type=int, default=0, help="scheduling priority (higher runs first)"
+    )
+    sub_p.add_argument(
+        "--trace", action="store_true", help="record the run (fetch via the /trace endpoint)"
+    )
+    add_backend_args(sub_p)
+    add_fault_args(sub_p)
+    add_url_arg(sub_p)
+    sub_p.add_argument(
+        "--no-wait",
+        action="store_true",
+        help="print the job id and return without polling for completion",
+    )
+    sub_p.add_argument(
+        "--timeout",
+        type=float,
+        default=600.0,
+        metavar="S",
+        help="max seconds to wait for completion (with waiting enabled)",
+    )
+
+    jobs_p = sub.add_parser("jobs", help="list a running job server's jobs")
+    add_url_arg(jobs_p)
+    jobs_p.add_argument(
+        "--stats", action="store_true", help="print server/scheduler/cache statistics instead"
+    )
     return parser
 
 
@@ -341,6 +445,37 @@ _FAULT_APPS = ("heat3d", "kmeans")
 _TIME_BLOCK_APPS = ("heat3d", "jacobi2d", "sobel")
 
 
+def _fault_plan_from_args(args: argparse.Namespace):
+    """Build the deterministic fault plan the ``run``/``submit`` flags describe."""
+    if args.fault_seed is None:
+        return None
+    from repro.faults import FaultPlan, RankCrash
+
+    if args.app not in _FAULT_APPS:
+        raise SystemExit(
+            f"fault injection supports {', '.join(_FAULT_APPS)}, not {args.app}"
+        )
+    crashes = []
+    if args.crash_rank is not None:
+        if args.checkpoint_every is None:
+            raise SystemExit("--crash-rank requires --checkpoint-every")
+        crashes.append(
+            RankCrash(
+                rank=args.crash_rank,
+                at_time=args.crash_at,
+                restart_cost=args.restart_cost,
+            )
+        )
+    return FaultPlan.lossy(
+        seed=args.fault_seed,
+        drop=args.drop,
+        dup=args.dup,
+        delay=args.delay,
+        max_delay=args.max_delay,
+        crashes=crashes,
+    )
+
+
 def cmd_run(args: argparse.Namespace) -> str:
     cluster = ohio_cluster(args.nodes)
     kwargs = {}
@@ -364,33 +499,8 @@ def cmd_run(args: argparse.Namespace) -> str:
                 f"--time-block is only supported for {', '.join(_TIME_BLOCK_APPS)}"
             )
         kwargs["time_block"] = args.time_block
-    plan = None
-    if args.fault_seed is not None:
-        from repro.faults import FaultPlan, RankCrash
-
-        if args.app not in _FAULT_APPS:
-            raise SystemExit(
-                f"fault injection supports {', '.join(_FAULT_APPS)}, not {args.app}"
-            )
-        crashes = []
-        if args.crash_rank is not None:
-            if args.checkpoint_every is None:
-                raise SystemExit("--crash-rank requires --checkpoint-every")
-            crashes.append(
-                RankCrash(
-                    rank=args.crash_rank,
-                    at_time=args.crash_at,
-                    restart_cost=args.restart_cost,
-                )
-            )
-        plan = FaultPlan.lossy(
-            seed=args.fault_seed,
-            drop=args.drop,
-            dup=args.dup,
-            delay=args.delay,
-            max_delay=args.max_delay,
-            crashes=crashes,
-        )
+    plan = _fault_plan_from_args(args)
+    if plan is not None:
         kwargs["reliable"] = True
         kwargs["fault_plan"] = plan
         if args.checkpoint_every is not None:
@@ -472,6 +582,136 @@ def cmd_profile(args: argparse.Namespace) -> str:
     return "\n".join([head, "", render_text_report(report)] + extra)
 
 
+def _serve_url(args: argparse.Namespace) -> str:
+    import os
+
+    from repro.serve import DEFAULT_URL
+
+    return args.url or os.environ.get("REPRO_SERVE_URL") or DEFAULT_URL
+
+
+def _parse_kv_pairs(pairs: list[str], flag: str) -> dict:
+    """Parse repeated ``K=V`` flags; values decode as JSON, else stay strings."""
+    import json
+
+    out = {}
+    for pair in pairs:
+        key, sep, raw = pair.partition("=")
+        if not sep or not key:
+            raise SystemExit(f"{flag} expects K=V, got {pair!r}")
+        try:
+            out[key] = json.loads(raw)
+        except ValueError:
+            out[key] = raw
+    return out
+
+
+def cmd_serve(args: argparse.Namespace) -> None:  # pragma: no cover - blocks forever
+    from repro.serve import JobServer, served_app_names
+
+    server = JobServer(
+        host=args.host,
+        port=args.port,
+        rank_budget=args.rank_budget,
+        cache_size=args.cache_size,
+        max_queued=args.max_queued,
+        verbose=args.verbose,
+    )
+    with server:
+        print(f"repro job server listening on {server.url}")
+        print(f"  apps        : {', '.join(served_app_names())}")
+        print(f"  rank budget : {args.rank_budget} | cache: {args.cache_size} "
+              f"| queue: {args.max_queued}")
+        print("  submit with : python -m repro submit <app> "
+              f"--url {server.url}  (Ctrl-C stops)")
+        try:
+            server.serve_forever()
+        except KeyboardInterrupt:
+            print("shutting down")
+
+
+def cmd_submit(args: argparse.Namespace) -> str:
+    from repro.serve import JobSpec, ServeClient, ServeError
+
+    options = _parse_kv_pairs(args.option, "--option")
+    plan = _fault_plan_from_args(args)
+    if plan is not None:
+        options["reliable"] = True
+        if args.checkpoint_every is not None:
+            options["checkpoint_every"] = args.checkpoint_every
+    try:
+        spec = JobSpec(
+            app=args.app,
+            nodes=args.nodes,
+            mix=args.mix,
+            preset=args.preset,
+            scale=args.scale,
+            params=_parse_kv_pairs(args.param, "--param"),
+            options=options,
+            fault_plan=plan.to_dict() if plan is not None else None,
+            backend=args.backend,
+            workers=args.workers,
+            priority=args.priority,
+            trace=args.trace,
+        )
+    except Exception as exc:
+        raise SystemExit(f"invalid job spec: {exc}") from None
+    client = ServeClient(_serve_url(args))
+    try:
+        job = client.submit(spec)
+    except ServeError as exc:
+        raise SystemExit(f"submit failed: {exc}") from None
+    lines = [
+        f"job {job['id']} [{spec.app} x{spec.nodes} {spec.mix}] "
+        f"{'cache hit' if job.get('cached') else job['state']} "
+        f"(spec {spec.content_hash()[:12]})"
+    ]
+    if args.no_wait and job["state"] not in ("done", "failed"):
+        lines.append(f"  poll with      : python -m repro jobs --url {client.url}")
+        return "\n".join(lines)
+    done = client.wait(job["id"], timeout=args.timeout)
+    if done["state"] != "done":
+        detail = done.get("error") or done["state"]
+        raise SystemExit(f"job {job['id']} {done['state']}: {detail}")
+    result = client.result(job["id"])["result"]
+    lines += [
+        f"  simulated time : {fmt_seconds(result['makespan'])}",
+        f"  sequential time: {fmt_seconds(result['seq_time'])} (modeled, 1 core)",
+        f"  speedup        : {result['speedup']:.1f}x",
+    ]
+    if result.get("fault_stats"):
+        s = result["fault_stats"]
+        lines.append(
+            f"  faults         : drops={s['drops']} dups={s['duplicates']} "
+            f"delays={s['delays']} crashes={s['crashes_consumed']}"
+        )
+    if spec.trace:
+        lines.append(f"  trace          : GET {client.url}/jobs/{job['id']}/trace")
+    return "\n".join(lines)
+
+
+def cmd_jobs(args: argparse.Namespace) -> str:
+    import json
+
+    from repro.serve import ServeClient, ServeError
+
+    client = ServeClient(_serve_url(args))
+    try:
+        if args.stats:
+            return json.dumps(client.stats(), indent=2, sort_keys=True)
+        jobs = client.jobs()
+    except ServeError as exc:
+        raise SystemExit(f"cannot reach job server at {client.url}: {exc}") from None
+    if not jobs:
+        return f"no jobs on {client.url}"
+    lines = [f"{len(jobs)} job(s) on {client.url}:"]
+    for job in jobs:
+        tag = f"{job['app']} x{job['ranks']}"
+        cached = " (cached)" if job.get("cached") else ""
+        lines.append(f"  {job['id']}  {job['state']:<9} {tag}{cached}")
+    return "\n".join(lines)
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "info":
@@ -484,6 +724,12 @@ def main(argv: list[str] | None = None) -> int:
         print(_FIGURES[args.which](args.scale))
     elif args.command == "codesize":
         print(format_table(figures.fig6_code_sizes(), title="Fig. 6 code sizes"))
+    elif args.command == "serve":
+        cmd_serve(args)
+    elif args.command == "submit":
+        print(cmd_submit(args))
+    elif args.command == "jobs":
+        print(cmd_jobs(args))
     return 0
 
 

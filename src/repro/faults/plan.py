@@ -28,6 +28,7 @@ import math
 import random
 import threading
 from dataclasses import dataclass, field
+from typing import Any
 
 from repro.comm.constants import RELIABLE_ACK_BASE
 from repro.util.errors import ValidationError
@@ -220,6 +221,127 @@ class FaultPlan:
                 )
             )
         return cls(seed=seed, rules=rules, crashes=crashes)
+
+    # -- canonical serialization -----------------------------------------
+    def canonical_key(self) -> str:
+        """A stable, order-independent identity string for this plan.
+
+        Two plans that inject the *same faults* — the same seed and the
+        same sets of rules, degradations, and crashes, regardless of the
+        order they were listed in — produce the same key; any semantic
+        difference changes it.  Runtime state (``stats``, per-pair
+        counters, consumed flags) is excluded: the key names what the plan
+        *will do*, not what it has done.  The job service hashes this into
+        its content-addressed result-cache key
+        (:meth:`repro.serve.spec.JobSpec.content_hash`).
+        """
+        rules = sorted(
+            (
+                r.drop_prob,
+                r.dup_prob,
+                r.delay_prob,
+                r.max_delay,
+                -1 if r.src is None else r.src,
+                -1 if r.dst is None else r.dst,
+                r.t_start,
+                r.t_end,
+            )
+            for r in self.rules
+        )
+        degs = sorted(
+            (
+                d.bandwidth_factor,
+                d.extra_latency,
+                -1 if d.src is None else d.src,
+                -1 if d.dst is None else d.dst,
+                d.t_start,
+                d.t_end,
+            )
+            for d in self.degradations
+        )
+        crashes = sorted((c.rank, c.at_time, c.restart_cost) for c in self.crashes)
+        return (
+            f"FaultPlan(seed={self.seed!r}, rules={rules!r}, "
+            f"degradations={degs!r}, crashes={crashes!r})"
+        )
+
+    def to_dict(self) -> dict:
+        """JSON-able description (the job service's wire format).
+
+        Round-trips through :meth:`from_dict`; infinite time windows are
+        encoded as the string ``"inf"`` so the document survives strict
+        JSON encoders too.
+        """
+
+        def _t(value: float) -> float | str:
+            return "inf" if value == math.inf else value
+
+        return {
+            "seed": self.seed,
+            "rules": [
+                {
+                    "drop_prob": r.drop_prob,
+                    "dup_prob": r.dup_prob,
+                    "delay_prob": r.delay_prob,
+                    "max_delay": r.max_delay,
+                    "src": r.src,
+                    "dst": r.dst,
+                    "t_start": r.t_start,
+                    "t_end": _t(r.t_end),
+                }
+                for r in self.rules
+            ],
+            "degradations": [
+                {
+                    "bandwidth_factor": d.bandwidth_factor,
+                    "extra_latency": d.extra_latency,
+                    "src": d.src,
+                    "dst": d.dst,
+                    "t_start": d.t_start,
+                    "t_end": _t(d.t_end),
+                }
+                for d in self.degradations
+            ],
+            "crashes": [
+                {"rank": c.rank, "at_time": c.at_time, "restart_cost": c.restart_cost}
+                for c in self.crashes
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultPlan":
+        """Rebuild a plan from :meth:`to_dict` output (validating fields)."""
+        if not isinstance(data, dict):
+            raise ValidationError(f"fault plan must be a dict, got {type(data).__name__}")
+        known = {"seed", "rules", "degradations", "crashes"}
+        unknown = set(data) - known
+        if unknown:
+            raise ValidationError(f"unknown fault-plan keys: {sorted(unknown)}")
+
+        def _build(kind: type, entries: Any, name: str) -> list:
+            if not isinstance(entries, (list, tuple)):
+                raise ValidationError(f"fault-plan {name} must be a list")
+            out = []
+            for entry in entries:
+                if not isinstance(entry, dict):
+                    raise ValidationError(f"each {name} entry must be a dict")
+                fields = dict(entry)
+                if "t_end" in fields and fields["t_end"] == "inf":
+                    fields["t_end"] = math.inf
+                try:
+                    out.append(kind(**fields))
+                except TypeError as exc:
+                    raise ValidationError(f"bad {name} entry: {exc}") from None
+            return out
+
+        return cls(
+            seed=int(data.get("seed", 0)),
+            rules=_build(MessageFaultRule, data.get("rules", []), "rules"),
+            degradations=_build(
+                LinkDegradation, data.get("degradations", []), "degradations"
+            ),
+            crashes=_build(RankCrash, data.get("crashes", []), "crashes"),
+        )
 
     # -- cross-process support -----------------------------------------
     def __getstate__(self) -> dict:

@@ -1,0 +1,45 @@
+"""Multi-tenant simulation job service.
+
+Turns the CLI-per-run model into a long-lived server: many small jobs
+share the process-wide warm pools (rank threads, worker processes, link
+tables, dataset memos) instead of each paying full per-process setup — the
+"heavy traffic" direction of the roadmap, in the spirit of persistent
+runtimes like CaKernel's scheduler and HDArray's resident host process.
+
+Pieces:
+
+- :class:`~repro.serve.spec.JobSpec` / :func:`~repro.serve.spec.execute_job`
+  — what a job *is*, its content hash, and the reference executor.
+- :class:`~repro.serve.cache.ResultCache` — content-addressed LRU of
+  completed results (identical jobs return without re-execution).
+- :class:`~repro.serve.scheduler.JobScheduler` — priority queues,
+  per-job rank budgets, admission control, concurrent execution.
+- :class:`~repro.serve.server.JobServer` — the localhost HTTP API.
+- :class:`~repro.serve.client.ServeClient` — the stdlib client the CLI
+  and batch drivers use.
+
+Guarantee inherited from the engine: a job's virtual makespan is
+bit-identical whether it runs through the service (at any concurrency, on
+either backend) or directly via :func:`repro.sim.engine.spmd_run`.
+"""
+
+from repro.serve.cache import ResultCache
+from repro.serve.client import DEFAULT_URL, ServeClient, ServeError
+from repro.serve.scheduler import AdmissionError, Job, JobScheduler, TERMINAL_STATES
+from repro.serve.server import JobServer
+from repro.serve.spec import JobSpec, execute_job, served_app_names
+
+__all__ = [
+    "AdmissionError",
+    "DEFAULT_URL",
+    "Job",
+    "JobScheduler",
+    "JobServer",
+    "JobSpec",
+    "ResultCache",
+    "ServeClient",
+    "ServeError",
+    "TERMINAL_STATES",
+    "execute_job",
+    "served_app_names",
+]

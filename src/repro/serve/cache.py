@@ -1,0 +1,73 @@
+"""Content-addressed result cache for the job service.
+
+Keys are :meth:`JobSpec.content_hash` digests; values are completed result
+payloads (plain JSON-able dicts).  The cache is a bounded, thread-safe LRU
+— hits refresh recency, inserts evict the least-recently-used entry — the
+same policy :func:`repro.data.points.clustered_points` uses for datasets,
+applied one level up: identical jobs return their memoized result without
+re-execution, which is the whole point of a long-lived server amortizing
+setup across "heavy traffic" of small jobs.
+
+Cached payloads are shared, not copied: treat them as read-only (the same
+contract as a delivered message payload).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Any
+
+from repro.util.errors import ValidationError
+
+
+class ResultCache:
+    """Bounded LRU mapping spec hashes to completed result payloads."""
+
+    def __init__(self, max_entries: int = 128) -> None:
+        if max_entries < 1:
+            raise ValidationError(f"max_entries must be >= 1, got {max_entries}")
+        self.max_entries = max_entries
+        self._lock = threading.Lock()
+        self._entries: OrderedDict[str, dict[str, Any]] = OrderedDict()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+
+    def get(self, key: str) -> dict[str, Any] | None:
+        """The cached payload for ``key`` (refreshing recency), or None."""
+        with self._lock:
+            payload = self._entries.get(key)
+            if payload is None:
+                self._misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self._hits += 1
+            return payload
+
+    def put(self, key: str, payload: dict[str, Any]) -> None:
+        """Store ``payload`` under ``key``, evicting the LRU entry if full."""
+        with self._lock:
+            if key not in self._entries and len(self._entries) >= self.max_entries:
+                self._entries.popitem(last=False)
+                self._evictions += 1
+            self._entries[key] = payload
+            self._entries.move_to_end(key)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    def stats(self) -> dict[str, int]:
+        with self._lock:
+            return {
+                "size": len(self._entries),
+                "max_entries": self.max_entries,
+                "hits": self._hits,
+                "misses": self._misses,
+                "evictions": self._evictions,
+            }

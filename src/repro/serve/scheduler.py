@@ -1,0 +1,295 @@
+"""Concurrent job scheduler: priority queues, rank budgets, admission control.
+
+The scheduler owns the server's concurrency policy:
+
+- **Admission control.**  Every job costs ``spec.ranks`` rank threads (one
+  per simulated node).  A job that could *never* fit — more ranks than the
+  whole budget — is rejected at submission (:class:`AdmissionError`); a job
+  that merely doesn't fit *right now* is queued.  The running set's
+  aggregate rank cost never exceeds ``rank_budget``, which bounds how many
+  rank threads the shared :class:`~repro.sim.engine._RankThreadPool` is
+  asked to hold live at once.
+- **Priority queue.**  Higher ``spec.priority`` dispatches first; ties
+  break in submission order.  Dispatch is *first-fit in priority order*: if
+  the highest-priority job doesn't fit the remaining budget, a smaller,
+  lower-priority job may start ahead of it (no head-of-line blocking behind
+  wide jobs; wide jobs still win as soon as the budget drains).
+- **Result cache.**  Submission consults the content-addressed
+  :class:`~repro.serve.cache.ResultCache` first; a hit completes the job
+  instantly (``cached=True``) without touching the queue.
+
+Execution itself is delegated to an ``executor`` callable (by default
+:func:`repro.serve.spec.execute_job`); each admitted job runs on its own
+daemon thread, which is safe because :func:`~repro.sim.engine.spmd_run` is
+re-entrant — concurrent runs only share lock-protected pools.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+import uuid
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.serve.cache import ResultCache
+from repro.serve.spec import JobSpec, execute_job
+from repro.util.errors import ValidationError
+
+
+class AdmissionError(ValidationError):
+    """The scheduler refused a job at submission time."""
+
+
+#: Terminal job states (no further transitions).
+TERMINAL_STATES = ("done", "failed", "cancelled")
+
+
+@dataclass
+class Job:
+    """One submitted job and everything the API reports about it."""
+
+    id: str
+    spec: JobSpec
+    spec_hash: str
+    seq: int
+    state: str = "queued"  # queued | running | done | failed | cancelled
+    cached: bool = False
+    result: dict[str, Any] | None = None
+    error: str | None = None
+    submitted_at: float = field(default_factory=time.time)
+    started_at: float | None = None
+    finished_at: float | None = None
+
+    @property
+    def ranks(self) -> int:
+        return self.spec.ranks
+
+    def describe(self, *, with_spec: bool = True) -> dict[str, Any]:
+        """JSON-able status view (results are fetched separately)."""
+        out = {
+            "id": self.id,
+            "app": self.spec.app,
+            "state": self.state,
+            "priority": self.spec.priority,
+            "ranks": self.ranks,
+            "cached": self.cached,
+            "spec_hash": self.spec_hash,
+            "error": self.error,
+            "submitted_at": self.submitted_at,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+        }
+        if with_spec:
+            out["spec"] = self.spec.to_dict()
+        if self.result is not None:
+            out["makespan"] = self.result.get("makespan")
+        return out
+
+
+class JobScheduler:
+    """Run jobs concurrently off the shared rank pools, within a budget."""
+
+    def __init__(
+        self,
+        executor: Callable[[JobSpec], dict[str, Any]] | None = None,
+        *,
+        rank_budget: int = 64,
+        cache: ResultCache | None = None,
+        max_queued: int = 1024,
+    ) -> None:
+        if rank_budget < 1:
+            raise ValidationError(f"rank_budget must be >= 1, got {rank_budget}")
+        if max_queued < 0:
+            raise ValidationError(f"max_queued must be >= 0, got {max_queued}")
+        self.rank_budget = rank_budget
+        self.max_queued = max_queued
+        self.cache = cache if cache is not None else ResultCache()
+        self._executor = executor if executor is not None else execute_job
+        self._cond = threading.Condition()
+        self._jobs: dict[str, Job] = {}
+        self._queue: list[Job] = []  # queued jobs, submission order
+        self._ranks_in_use = 0
+        self._seq = 0
+        self._executed = 0
+        self._cache_hits = 0
+        self._shutdown = False
+        self._dispatcher = threading.Thread(
+            target=self._dispatch_loop, name="serve-dispatcher", daemon=True
+        )
+        self._dispatcher.start()
+
+    # -- submission ------------------------------------------------------
+    def submit(self, spec: JobSpec) -> Job:
+        """Admit one job: cache hit, queue it, or raise :class:`AdmissionError`."""
+        if spec.ranks > self.rank_budget:
+            raise AdmissionError(
+                f"job needs {spec.ranks} ranks but the server's budget is "
+                f"{self.rank_budget}; it can never be scheduled"
+            )
+        spec_hash = spec.content_hash()
+        with self._cond:
+            if self._shutdown:
+                raise AdmissionError("scheduler is shut down")
+            self._seq += 1
+            job = Job(
+                id=f"j{self._seq:05d}-{uuid.uuid4().hex[:6]}",
+                spec=spec,
+                spec_hash=spec_hash,
+                seq=self._seq,
+            )
+            cached = self.cache.get(spec_hash)
+            if cached is not None:
+                now = time.time()
+                job.state = "done"
+                job.cached = True
+                job.result = cached
+                job.started_at = now
+                job.finished_at = now
+                self._cache_hits += 1
+                self._jobs[job.id] = job
+                self._cond.notify_all()
+                return job
+            if len(self._queue) >= self.max_queued:
+                raise AdmissionError(
+                    f"queue is full ({self.max_queued} jobs waiting); retry later"
+                )
+            self._jobs[job.id] = job
+            self._queue.append(job)
+            self._cond.notify_all()
+        return job
+
+    # -- dispatch ---------------------------------------------------------
+    def _pick_locked(self) -> Job | None:
+        """Best queued job that fits the remaining budget (first fit in
+        priority order), or None."""
+        available = self.rank_budget - self._ranks_in_use
+        best: Job | None = None
+        for job in self._queue:
+            if job.ranks > available:
+                continue
+            if best is None or (-job.spec.priority, job.seq) < (
+                -best.spec.priority,
+                best.seq,
+            ):
+                best = job
+        return best
+
+    def _dispatch_loop(self) -> None:
+        while True:
+            with self._cond:
+                job = self._pick_locked()
+                while job is None and not self._shutdown:
+                    self._cond.wait()
+                    job = self._pick_locked()
+                if job is None:  # shutdown with nothing dispatchable
+                    return
+                self._queue.remove(job)
+                job.state = "running"
+                job.started_at = time.time()
+                self._ranks_in_use += job.ranks
+            threading.Thread(
+                target=self._run_job, args=(job,), name=f"serve-{job.id}", daemon=True
+            ).start()
+
+    def _run_job(self, job: Job) -> None:
+        try:
+            result = self._executor(job.spec)
+        except BaseException as exc:  # noqa: BLE001 - job failures are data
+            with self._cond:
+                job.error = f"{type(exc).__name__}: {exc}"
+                job.state = "failed"
+                job.finished_at = time.time()
+                self._ranks_in_use -= job.ranks
+                self._executed += 1
+                self._cond.notify_all()
+        else:
+            self.cache.put(job.spec_hash, result)
+            with self._cond:
+                job.result = result
+                job.state = "done"
+                job.finished_at = time.time()
+                self._ranks_in_use -= job.ranks
+                self._executed += 1
+                self._cond.notify_all()
+
+    # -- queries ----------------------------------------------------------
+    def get(self, job_id: str) -> Job:
+        with self._cond:
+            try:
+                return self._jobs[job_id]
+            except KeyError:
+                raise KeyError(f"unknown job id {job_id!r}") from None
+
+    def jobs(self) -> list[Job]:
+        """All known jobs, in submission order."""
+        with self._cond:
+            return sorted(self._jobs.values(), key=lambda j: j.seq)
+
+    def wait(self, job_id: str, timeout: float = 120.0) -> Job:
+        """Block until ``job_id`` reaches a terminal state (or time out)."""
+        job = self.get(job_id)
+        deadline = time.monotonic() + timeout
+        with self._cond:
+            while job.state not in TERMINAL_STATES:
+                left = deadline - time.monotonic()
+                if left <= 0:
+                    raise TimeoutError(
+                        f"job {job_id} still {job.state} after {timeout}s"
+                    )
+                self._cond.wait(timeout=left)
+        return job
+
+    def cancel(self, job_id: str) -> bool:
+        """Cancel a queued job.  Running/terminal jobs return False —
+        a running SPMD program has no safe preemption point."""
+        job = self.get(job_id)
+        with self._cond:
+            if job.state != "queued":
+                return False
+            self._queue.remove(job)
+            job.state = "cancelled"
+            job.finished_at = time.time()
+            self._cond.notify_all()
+            return True
+
+    def stats(self) -> dict[str, Any]:
+        from repro.sim.engine import active_run_stats, rank_pool_stats
+
+        with self._cond:
+            by_state: dict[str, int] = {}
+            for job in self._jobs.values():
+                by_state[job.state] = by_state.get(job.state, 0) + 1
+            counters = {
+                "jobs": len(self._jobs),
+                "by_state": by_state,
+                "queued": len(self._queue),
+                "ranks_in_use": self._ranks_in_use,
+                "rank_budget": self.rank_budget,
+                "executed": self._executed,
+                "cache_hits": self._cache_hits,
+            }
+        counters["cache"] = self.cache.stats()
+        counters["rank_pool"] = rank_pool_stats()
+        counters["engine"] = active_run_stats()
+        return counters
+
+    def shutdown(self, *, wait_running: float = 0.0) -> None:
+        """Stop dispatching; queued jobs are cancelled.
+
+        ``wait_running`` gives in-flight jobs that many wall-clock seconds
+        to finish (they run on daemon threads either way).
+        """
+        with self._cond:
+            self._shutdown = True
+            for job in self._queue:
+                job.state = "cancelled"
+                job.finished_at = time.time()
+            self._queue.clear()
+            self._cond.notify_all()
+        self._dispatcher.join(timeout=5.0)
+        if wait_running > 0:
+            deadline = time.monotonic() + wait_running
+            with self._cond:
+                while self._ranks_in_use > 0 and time.monotonic() < deadline:
+                    self._cond.wait(timeout=max(0.0, deadline - time.monotonic()))

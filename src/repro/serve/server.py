@@ -1,0 +1,259 @@
+"""The job service's HTTP front end (stdlib ``ThreadingHTTPServer``).
+
+A deliberately small, dependency-free JSON API on localhost:
+
+====== =========================== ===========================================
+Method Path                        Meaning
+====== =========================== ===========================================
+GET    ``/healthz``                liveness probe
+GET    ``/stats``                  scheduler / cache / pool counters
+GET    ``/jobs``                   all jobs (status summaries)
+POST   ``/jobs``                   submit a job spec; 200 = cache hit,
+                                   202 = queued, 400/429 = rejected
+GET    ``/jobs/<id>``              one job's status
+GET    ``/jobs/<id>/result``       result payload (409 until terminal)
+GET    ``/jobs/<id>/trace``        Chrome-trace document (jobs with trace=true)
+POST   ``/jobs/<id>/cancel``       cancel a queued job (409 if running)
+====== =========================== ===========================================
+
+Each HTTP request is handled on its own thread, but handlers only touch the
+lock-protected :class:`~repro.serve.scheduler.JobScheduler` — the actual
+simulations run on the scheduler's job threads, so a slow job never blocks
+a status poll.
+
+:class:`JobServer` bundles scheduler + HTTP server + the serving thread;
+``port=0`` binds an ephemeral port (the bound address is on ``.url``).
+Use it as a context manager in tests.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any
+
+from repro import __version__
+from repro.serve.cache import ResultCache
+from repro.serve.scheduler import AdmissionError, JobScheduler
+from repro.serve.spec import JobSpec
+from repro.util.errors import ValidationError
+
+#: Largest request body accepted (job specs are small; this is a guardrail).
+MAX_BODY_BYTES = 4 * 1024 * 1024
+
+
+class _ApiError(Exception):
+    """An error with an HTTP status, rendered as a JSON body."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server_version = f"repro-serve/{__version__}"
+    protocol_version = "HTTP/1.1"
+
+    # -- plumbing ---------------------------------------------------------
+    @property
+    def scheduler(self) -> JobScheduler:
+        return self.server.scheduler  # type: ignore[attr-defined]
+
+    def log_message(self, fmt: str, *args: Any) -> None:
+        if getattr(self.server, "verbose", False):  # quiet by default
+            super().log_message(fmt, *args)
+
+    def _send_json(self, obj: Any, status: int = 200) -> None:
+        body = json.dumps(obj).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _read_json(self) -> Any:
+        length = int(self.headers.get("Content-Length", 0) or 0)
+        if length <= 0:
+            raise _ApiError(400, "request requires a JSON body")
+        if length > MAX_BODY_BYTES:
+            raise _ApiError(413, f"request body exceeds {MAX_BODY_BYTES} bytes")
+        raw = self.rfile.read(length)
+        try:
+            return json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise _ApiError(400, f"invalid JSON body: {exc}") from None
+
+    def _job(self, job_id: str):
+        try:
+            return self.scheduler.get(job_id)
+        except KeyError:
+            raise _ApiError(404, f"unknown job id {job_id!r}") from None
+
+    # -- routing ------------------------------------------------------------
+    def _route(self, method: str) -> None:
+        try:
+            path = self.path.split("?", 1)[0].rstrip("/") or "/"
+            parts = [p for p in path.split("/") if p]
+            self._dispatch(method, parts)
+        except _ApiError as exc:
+            self._send_json({"error": str(exc)}, status=exc.status)
+        except Exception as exc:  # noqa: BLE001 - must answer the client
+            self._send_json(
+                {"error": f"internal error: {type(exc).__name__}: {exc}"}, status=500
+            )
+
+    def _dispatch(self, method: str, parts: list[str]) -> None:
+        if method == "GET" and parts == ["healthz"]:
+            self._send_json({"ok": True, "version": __version__})
+        elif method == "GET" and parts == ["stats"]:
+            self._send_json(self.scheduler.stats())
+        elif method == "GET" and parts == ["jobs"]:
+            self._send_json(
+                {"jobs": [j.describe(with_spec=False) for j in self.scheduler.jobs()]}
+            )
+        elif method == "POST" and parts == ["jobs"]:
+            self._submit()
+        elif len(parts) == 2 and parts[0] == "jobs" and method == "GET":
+            self._send_json(self._job(parts[1]).describe())
+        elif len(parts) == 3 and parts[0] == "jobs":
+            job_id, action = parts[1], parts[2]
+            if method == "GET" and action == "result":
+                self._result(job_id)
+            elif method == "GET" and action == "trace":
+                self._trace(job_id)
+            elif method == "POST" and action == "cancel":
+                self._cancel(job_id)
+            else:
+                raise _ApiError(404, f"no such endpoint: {method} {self.path}")
+        else:
+            raise _ApiError(404, f"no such endpoint: {method} {self.path}")
+
+    # -- endpoints ------------------------------------------------------------
+    def _submit(self) -> None:
+        data = self._read_json()
+        try:
+            spec = JobSpec.from_dict(data)
+        except ValidationError as exc:
+            raise _ApiError(400, f"bad job spec: {exc}") from None
+        try:
+            job = self.scheduler.submit(spec)
+        except AdmissionError as exc:
+            # Over-budget forever -> 400; queue full right now -> 429.
+            status = 429 if "queue is full" in str(exc) else 400
+            raise _ApiError(status, str(exc)) from None
+        self._send_json(job.describe(), status=200 if job.cached else 202)
+
+    def _result(self, job_id: str) -> None:
+        job = self._job(job_id)
+        if job.state in ("queued", "running"):
+            raise _ApiError(409, f"job {job_id} is still {job.state}")
+        if job.state == "cancelled":
+            raise _ApiError(409, f"job {job_id} was cancelled")
+        if job.state == "failed":
+            self._send_json({"id": job.id, "state": job.state, "error": job.error})
+            return
+        result = {k: v for k, v in (job.result or {}).items() if k != "trace"}
+        self._send_json(
+            {"id": job.id, "state": job.state, "cached": job.cached, "result": result}
+        )
+
+    def _trace(self, job_id: str) -> None:
+        job = self._job(job_id)
+        if job.state in ("queued", "running"):
+            raise _ApiError(409, f"job {job_id} is still {job.state}")
+        trace = (job.result or {}).get("trace")
+        if trace is None:
+            raise _ApiError(
+                404, f"job {job_id} has no trace (submit with trace=true)"
+            )
+        self._send_json(trace)
+
+    def _cancel(self, job_id: str) -> None:
+        job = self._job(job_id)
+        if self.scheduler.cancel(job.id):
+            self._send_json(job.describe())
+        elif job.state == "cancelled":
+            self._send_json(job.describe())
+        else:
+            raise _ApiError(409, f"job {job_id} is {job.state}; only queued jobs cancel")
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        self._route("GET")
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server API
+        self._route("POST")
+
+
+class _HTTPServer(ThreadingHTTPServer):
+    daemon_threads = True
+    allow_reuse_address = True
+
+
+class JobServer:
+    """The long-lived simulation job service (scheduler + HTTP API)."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        rank_budget: int = 64,
+        cache_size: int = 128,
+        max_queued: int = 1024,
+        executor: Any = None,
+        verbose: bool = False,
+    ) -> None:
+        self.scheduler = JobScheduler(
+            executor,
+            rank_budget=rank_budget,
+            cache=ResultCache(cache_size),
+            max_queued=max_queued,
+        )
+        self._http = _HTTPServer((host, port), _Handler)
+        self._http.scheduler = self.scheduler  # type: ignore[attr-defined]
+        self._http.verbose = verbose  # type: ignore[attr-defined]
+        self._thread: threading.Thread | None = None
+
+    @property
+    def host(self) -> str:
+        return self._http.server_address[0]
+
+    @property
+    def port(self) -> int:
+        return self._http.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def start(self) -> "JobServer":
+        """Serve requests on a background thread; returns self."""
+        if self._thread is not None:
+            raise ValidationError("server already started")
+        self._thread = threading.Thread(
+            target=self._http.serve_forever,
+            kwargs={"poll_interval": 0.05},
+            name="serve-http",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def serve_forever(self) -> None:
+        """Serve on the calling thread (the ``repro serve`` CLI path)."""
+        self._http.serve_forever(poll_interval=0.1)
+
+    def shutdown(self, *, wait_running: float = 0.0) -> None:
+        self._http.shutdown()
+        self._http.server_close()
+        self.scheduler.shutdown(wait_running=wait_running)
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+
+    def __enter__(self) -> "JobServer":
+        return self.start()
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.shutdown()

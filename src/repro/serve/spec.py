@@ -1,0 +1,365 @@
+"""Job specifications: the unit of work the job service schedules.
+
+A :class:`JobSpec` names everything that determines a simulation's outcome
+— the application, cluster preset and node count, device mix, config
+overrides, app options, and the fault plan — in a JSON-able form that
+travels over the HTTP API.  Its :meth:`~JobSpec.content_hash` is the
+content address of the run's *result*: two specs that would produce
+bit-identical virtual makespans hash equal, so the server's result cache
+can return a completed job's payload without re-executing it.
+
+Deliberately **excluded** from the hash: execution backend, worker count,
+and priority.  The engine pins virtual makespans bit-identical across
+backends (see :mod:`repro.sim.engine`), and priority only reorders the
+queue — none of them can change the result, so including them would only
+split the cache.  Fault plans enter the hash through
+:meth:`repro.faults.plan.FaultPlan.canonical_key`, so listing the same
+rules in a different order does not change a job's identity either.
+
+:func:`execute_job` is the reference executor: it builds the cluster and
+config exactly the way the CLI's direct-run path does and calls the app's
+``run`` — which is what makes "submitted over the API" and "run directly
+via ``spmd_run``" bit-for-bit comparable.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import inspect
+import json
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping
+
+from repro.util.errors import ValidationError
+
+#: Cluster presets a job may request, by name.
+CLUSTER_PRESETS = ("ohio", "laptop", "latency")
+
+#: Spec fields that never reach the content hash (see module docstring).
+NON_SEMANTIC_FIELDS = ("backend", "workers", "priority")
+
+#: Keyword arguments of app ``run`` functions that are plumbing, not app
+#: options — they are carried by dedicated spec fields instead.
+_RESERVED_OPTIONS = frozenset(
+    {"backend", "workers", "fault_plan", "recorder_factory", "trace"}
+)
+
+
+def build_cluster(preset: str, nodes: int):
+    """Instantiate a named cluster preset at ``nodes`` nodes."""
+    from repro.cluster.presets import latency_cluster, laptop_cluster, ohio_cluster
+
+    builders = {
+        "ohio": ohio_cluster,
+        "laptop": laptop_cluster,
+        "latency": latency_cluster,
+    }
+    try:
+        builder = builders[preset]
+    except KeyError:
+        raise ValidationError(
+            f"unknown cluster preset {preset!r}; choose from {list(CLUSTER_PRESETS)}"
+        ) from None
+    return builder(nodes)
+
+
+def _served_apps() -> dict[str, Any]:
+    """The app registry the service schedules over.
+
+    Reuses the profile driver's table (run function + quick-scale config
+    factory), so the service serves exactly the apps the CLI can run and
+    profiles at the same CI-friendly default sizes.
+    """
+    from repro.obs.profile import PROFILE_APPS
+
+    return PROFILE_APPS
+
+
+def served_app_names() -> list[str]:
+    return sorted(_served_apps())
+
+
+def _allowed_options(run_fn: Callable[..., Any]) -> set[str]:
+    """The keyword-only parameters of an app's ``run`` (its option surface)."""
+    sig = inspect.signature(run_fn)
+    return {
+        name
+        for name, p in sig.parameters.items()
+        if p.kind is inspect.Parameter.KEYWORD_ONLY
+    } - _RESERVED_OPTIONS
+
+
+def _listify(value: Any) -> Any:
+    """Normalize tuples to lists recursively (canonical JSON form)."""
+    if isinstance(value, (list, tuple)):
+        return [_listify(v) for v in value]
+    return value
+
+
+def _tuplify(value: Any) -> Any:
+    """Normalize JSON lists back to tuples (config dataclass form)."""
+    if isinstance(value, (list, tuple)):
+        return tuple(_tuplify(v) for v in value)
+    return value
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """Everything that determines one simulation job's result.
+
+    Args:
+        app: Application name (one of :func:`served_app_names`).
+        nodes: Cluster node count; the job occupies ``nodes`` ranks.
+        mix: Device mix per node (see :data:`repro.core.env.DEVICE_MIXES`).
+        preset: Cluster preset name (:data:`CLUSTER_PRESETS`).
+        scale: ``"quick"`` (CI-sized config, the default) or ``"full"``
+            (the app's paper-sized defaults).
+        params: Config-field overrides applied on top of the scale's
+            default config (e.g. ``{"seed": 3, "iterations": 2}``).  JSON
+            lists are converted to tuples for tuple-valued fields.
+        options: App ``run()`` keyword options (e.g. ``overlap``,
+            ``reliable``, ``checkpoint_every``, ``time_block``), validated
+            against the app's signature at construction.
+        fault_plan: Optional :meth:`FaultPlan.to_dict` document.
+        backend: SPMD backend override (``None`` honours the environment).
+        workers: Process-backend worker count override.
+        priority: Higher runs first; ties in submission order.
+        trace: Capture a per-rank observability trace; the result then
+            carries a Chrome-trace document and an analysis report,
+            fetchable through the API.
+    """
+
+    app: str
+    nodes: int = 4
+    mix: str = "cpu+2gpu"
+    preset: str = "ohio"
+    scale: str = "quick"
+    params: Mapping[str, Any] = field(default_factory=dict)
+    options: Mapping[str, Any] = field(default_factory=dict)
+    fault_plan: Mapping[str, Any] | None = None
+    backend: str | None = None
+    workers: int | None = None
+    priority: int = 0
+    trace: bool = False
+
+    def __post_init__(self) -> None:
+        from repro.core.env import DEVICE_MIXES
+        from repro.sim.engine import resolve_backend
+
+        apps = _served_apps()
+        if self.app not in apps:
+            raise ValidationError(
+                f"unknown app {self.app!r}; served apps: {sorted(apps)}"
+            )
+        if not isinstance(self.nodes, int) or self.nodes < 1:
+            raise ValidationError(f"nodes must be an int >= 1, got {self.nodes!r}")
+        if self.mix not in DEVICE_MIXES:
+            raise ValidationError(
+                f"unknown mix {self.mix!r}; choose from {sorted(DEVICE_MIXES)}"
+            )
+        if self.preset not in CLUSTER_PRESETS:
+            raise ValidationError(
+                f"unknown preset {self.preset!r}; choose from {list(CLUSTER_PRESETS)}"
+            )
+        if self.scale not in ("quick", "full"):
+            raise ValidationError(f"scale must be 'quick' or 'full', got {self.scale!r}")
+        if not isinstance(self.priority, int):
+            raise ValidationError(f"priority must be an int, got {self.priority!r}")
+        if self.workers is not None and (
+            not isinstance(self.workers, int) or self.workers < 1
+        ):
+            raise ValidationError(f"workers must be an int >= 1, got {self.workers!r}")
+        if self.backend is not None:
+            resolve_backend(self.backend)  # raises on unknown names
+        # Freeze the mapping fields so the spec is safely shareable.
+        object.__setattr__(self, "params", dict(self.params or {}))
+        object.__setattr__(self, "options", dict(self.options or {}))
+        config_fields = {f.name for f in dataclasses.fields(self._config_type())}
+        unknown = set(self.params) - config_fields
+        if unknown:
+            raise ValidationError(
+                f"unknown {self.app} config params {sorted(unknown)}; "
+                f"known: {sorted(config_fields)}"
+            )
+        allowed = _allowed_options(_served_apps()[self.app].run)
+        bad = set(self.options) - allowed
+        if bad:
+            raise ValidationError(
+                f"unknown {self.app} options {sorted(bad)}; known: {sorted(allowed)}"
+            )
+        if self.fault_plan is not None:
+            # Validates field names/ranges; the plan itself is rebuilt at
+            # execution time (plans carry runtime state, specs must not).
+            self.build_fault_plan()
+
+    # -- derived views ---------------------------------------------------
+    @property
+    def ranks(self) -> int:
+        """Rank-budget cost of this job (framework apps run 1 rank/node)."""
+        return self.nodes
+
+    def _config_type(self) -> type:
+        return type(_served_apps()[self.app].quick_config())
+
+    def build_config(self) -> Any:
+        """The app config this spec runs: scale default + ``params``."""
+        entry = _served_apps()[self.app]
+        base = entry.quick_config() if self.scale == "quick" else self._config_type()()
+        if not self.params:
+            return base
+        overrides = {k: _tuplify(v) for k, v in self.params.items()}
+        return dataclasses.replace(base, **overrides)
+
+    def build_fault_plan(self):
+        """A fresh :class:`FaultPlan` for one execution (or ``None``)."""
+        if self.fault_plan is None:
+            return None
+        from repro.faults.plan import FaultPlan
+
+        return FaultPlan.from_dict(dict(self.fault_plan))
+
+    # -- canonical identity ------------------------------------------------
+    def canonical(self) -> dict[str, Any]:
+        """The hash-relevant content in canonical (sorted, listified) form."""
+        plan = self.build_fault_plan()
+        return {
+            "app": self.app,
+            "nodes": self.nodes,
+            "mix": self.mix,
+            "preset": self.preset,
+            "scale": self.scale,
+            "params": {k: _listify(self.params[k]) for k in sorted(self.params)},
+            "options": {k: _listify(self.options[k]) for k in sorted(self.options)},
+            "fault_plan": None if plan is None else plan.canonical_key(),
+            "trace": self.trace,
+        }
+
+    def canonical_json(self) -> str:
+        return json.dumps(self.canonical(), sort_keys=True, separators=(",", ":"))
+
+    def content_hash(self) -> str:
+        """SHA-256 content address of this job's result."""
+        return hashlib.sha256(self.canonical_json().encode("utf-8")).hexdigest()
+
+    # -- wire format -------------------------------------------------------
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "app": self.app,
+            "nodes": self.nodes,
+            "mix": self.mix,
+            "preset": self.preset,
+            "scale": self.scale,
+            "params": {k: _listify(v) for k, v in self.params.items()},
+            "options": dict(self.options),
+            "fault_plan": None if self.fault_plan is None else dict(self.fault_plan),
+            "backend": self.backend,
+            "workers": self.workers,
+            "priority": self.priority,
+            "trace": self.trace,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "JobSpec":
+        if not isinstance(data, Mapping):
+            raise ValidationError(f"job spec must be an object, got {type(data).__name__}")
+        known = {f.name for f in dataclasses.fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ValidationError(
+                f"unknown job-spec fields {sorted(unknown)}; known: {sorted(known)}"
+            )
+        if "app" not in data:
+            raise ValidationError("job spec requires an 'app' field")
+        return cls(**{k: data[k] for k in data})
+
+
+# -- execution -------------------------------------------------------------
+def _json_number(value: Any) -> bool:
+    return isinstance(value, (bool, int, float)) or (
+        hasattr(value, "item") and getattr(value, "ndim", 1) == 0
+    )
+
+
+def _scalar(value: Any) -> Any:
+    return value.item() if hasattr(value, "item") else value
+
+
+def _extract_metrics(rank0_value: Any) -> dict[str, Any]:
+    """Small JSON-able facts from rank 0's return value (arrays skipped)."""
+    metrics: dict[str, Any] = {}
+    if not isinstance(rank0_value, dict):
+        return metrics
+    for key, value in rank0_value.items():
+        if _json_number(value) or isinstance(value, str):
+            metrics[key] = _scalar(value)
+        elif (
+            isinstance(value, (list, tuple))
+            and len(value) <= 256
+            and all(_json_number(v) for v in value)
+        ):
+            metrics[key] = [_scalar(v) for v in value]
+    return metrics
+
+
+def _result_digest(result: Any) -> str | None:
+    """SHA-256 of the app's functional result array, when there is one."""
+    import numpy as np
+
+    if isinstance(result, np.ndarray):
+        h = hashlib.sha256()
+        h.update(str(result.dtype).encode())
+        h.update(str(result.shape).encode())
+        h.update(np.ascontiguousarray(result).tobytes())
+        return h.hexdigest()
+    return None
+
+
+def execute_job(spec: JobSpec) -> dict[str, Any]:
+    """Run one job to completion and return its JSON-able result payload.
+
+    This is the scheduler's default executor and the reference for the
+    service's bit-identity guarantee: the app's ``run`` is called exactly
+    as the CLI's direct path calls it, so a job's ``makespan`` is
+    repr-equal to the same spec run without the service (floats survive
+    the JSON round trip exactly).
+    """
+    entry = _served_apps()[spec.app]
+    cluster = build_cluster(spec.preset, spec.nodes)
+    config = spec.build_config()
+    plan = spec.build_fault_plan()
+    kwargs: dict[str, Any] = dict(spec.options)
+    if spec.backend is not None:
+        kwargs["backend"] = spec.backend
+    if spec.workers is not None:
+        kwargs["workers"] = spec.workers
+    if plan is not None:
+        kwargs["fault_plan"] = plan
+    if spec.trace:
+        from repro.obs.recorder import Recorder
+
+        kwargs["recorder_factory"] = Recorder
+
+    apprun = entry.run(cluster, config, spec.mix, **kwargs)
+
+    payload: dict[str, Any] = {
+        "app": apprun.app,
+        "nodes": apprun.nodes,
+        "mix": apprun.mix,
+        "preset": spec.preset,
+        "scale": spec.scale,
+        "makespan": apprun.makespan,
+        "seq_time": apprun.seq_time,
+        "speedup": apprun.speedup,
+        "metrics": _extract_metrics(apprun.spmd.values[0]),
+        "result_digest": _result_digest(apprun.result),
+        "fault_stats": None if plan is None else plan.stats_snapshot(),
+        "spec_hash": spec.content_hash(),
+    }
+    if spec.trace:
+        from repro.obs.analysis import analyze
+        from repro.obs.export import export_chrome_trace
+
+        payload["trace"] = export_chrome_trace(apprun.spmd.traces, apprun.spmd.makespan)
+        payload["report"] = analyze(apprun.spmd, app_makespan=apprun.makespan).to_dict()
+    return payload

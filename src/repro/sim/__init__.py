@@ -24,6 +24,7 @@ from repro.sim.engine import (
     BACKENDS,
     RankContext,
     SpmdResult,
+    active_run_stats,
     rank_pool_stats,
     resolve_backend,
     spmd_run,
@@ -38,6 +39,7 @@ __all__ = [
     "BACKENDS",
     "RankContext",
     "SpmdResult",
+    "active_run_stats",
     "rank_pool_stats",
     "resolve_backend",
     "spmd_run",

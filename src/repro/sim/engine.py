@@ -273,6 +273,44 @@ def rank_pool_stats() -> dict[str, int]:
     return _pool.stats()
 
 
+# -- multi-job accounting ------------------------------------------------
+# ``spmd_run`` is re-entrant: every run builds its own fabric, clocks,
+# result slots, and failure list, and rank threads of concurrent runs only
+# ever synchronize through their *own* run's fabric — so virtual makespans
+# are bit-identical whether runs execute back-to-back or interleaved.  The
+# shared state (the rank-thread pool above, the process-backend worker
+# pool, dataset memos) is either lock-protected or append-only.  The
+# counters below track how many runs/ranks are in flight right now; the
+# ``repro.serve`` job scheduler sizes its admission control against them.
+_active_lock = threading.Lock()
+_active_runs = 0
+_active_ranks = 0
+
+
+def _run_started(nranks: int) -> None:
+    global _active_runs, _active_ranks
+    with _active_lock:
+        _active_runs += 1
+        _active_ranks += nranks
+
+
+def _run_finished(nranks: int) -> None:
+    global _active_runs, _active_ranks
+    with _active_lock:
+        _active_runs -= 1
+        _active_ranks -= nranks
+
+
+def active_run_stats() -> dict[str, int]:
+    """How many SPMD runs (and their ranks) are in flight right now.
+
+    Covers both backends; a run is "active" from entry into
+    :func:`spmd_run` until its results (or failure) are returned.
+    """
+    with _active_lock:
+        return {"active_runs": _active_runs, "active_ranks": _active_ranks}
+
+
 class _RunGroup:
     """Completion tracking for the rank tasks of one SPMD run."""
 
@@ -359,18 +397,32 @@ def spmd_run(
         The first per-rank exception (sibling ranks are woken and drained),
         or :class:`DeadlockError` if ranks block past the watchdog.
     """
-    from repro.comm.fabric import Fabric
-
     if kwargs is None:
         kwargs = {}
     backend = resolve_backend(backend)
     nranks = cluster.num_nodes * ranks_per_node
     if nranks <= 0:
         raise ValidationError("cluster must yield at least one rank")
-    if backend == "processes" and nranks > 1:
-        from repro.sim.procpool import spmd_run_processes
+    _run_started(nranks)
+    try:
+        if backend == "processes" and nranks > 1:
+            from repro.sim.procpool import spmd_run_processes
 
-        return spmd_run_processes(
+            return spmd_run_processes(
+                fn,
+                cluster,
+                ranks_per_node=ranks_per_node,
+                args=args,
+                kwargs=kwargs,
+                trace=trace,
+                recorder_factory=recorder_factory,
+                device_factory=device_factory,
+                recv_timeout=recv_timeout,
+                wall_timeout=wall_timeout,
+                fault_plan=fault_plan,
+                workers=workers,
+            )
+        return _spmd_run_threads(
             fn,
             cluster,
             ranks_per_node=ranks_per_node,
@@ -382,9 +434,34 @@ def spmd_run(
             recv_timeout=recv_timeout,
             wall_timeout=wall_timeout,
             fault_plan=fault_plan,
-            workers=workers,
         )
+    finally:
+        _run_finished(nranks)
 
+
+def _spmd_run_threads(
+    fn: Callable[..., Any],
+    cluster: ClusterSpec,
+    *,
+    ranks_per_node: int,
+    args: tuple,
+    kwargs: dict,
+    trace: bool,
+    recorder_factory: Callable[[int], Trace] | None,
+    device_factory: DeviceFactory | None,
+    recv_timeout: float,
+    wall_timeout: float,
+    fault_plan: "FaultPlan | None",
+) -> SpmdResult:
+    """The thread backend's run body (see :func:`spmd_run`).
+
+    Also the process backend's single-worker fallback, which enters here
+    directly so a logical run is only counted once by
+    :func:`active_run_stats`.
+    """
+    from repro.comm.fabric import Fabric
+
+    nranks = cluster.num_nodes * ranks_per_node
     fabric = Fabric(cluster, ranks_per_node=ranks_per_node)
     if fault_plan is not None:
         fabric.install_faults(fault_plan)

@@ -409,9 +409,11 @@ def spmd_run_processes(
     nranks = cluster.num_nodes * ranks_per_node
     nworkers = resolve_workers(workers, nranks)
     if nworkers <= 1:
-        from repro.sim.engine import spmd_run
+        # Enter the thread body directly (not spmd_run) so the logical run
+        # is counted once by engine.active_run_stats().
+        from repro.sim.engine import _spmd_run_threads
 
-        return spmd_run(
+        return _spmd_run_threads(
             fn,
             cluster,
             ranks_per_node=ranks_per_node,
@@ -423,7 +425,6 @@ def spmd_run_processes(
             recv_timeout=recv_timeout,
             wall_timeout=wall_timeout,
             fault_plan=fault_plan,
-            backend="threads",
         )
     return _pool.run(
         nworkers,

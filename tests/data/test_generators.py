@@ -6,7 +6,7 @@ import pytest
 from repro.data.atoms import build_neighbor_edges, fcc_lattice
 from repro.data.grids import heat3d_initial, synthetic_image
 from repro.data.meshes import geometric_mesh, random_mesh
-from repro.data.points import clustered_points
+from repro.data.points import clear_points_cache, clustered_points, points_cache_stats
 from repro.util.errors import ValidationError
 
 
@@ -23,6 +23,40 @@ def test_clustered_points_deterministic():
     np.testing.assert_array_equal(a, b)
     c, _ = clustered_points(500, 8, seed=6)
     assert not np.array_equal(a, c)
+
+
+def test_clustered_points_memo_hit_and_readonly():
+    clear_points_cache()
+    try:
+        a, _ = clustered_points(300, 4, seed=1)
+        b, _ = clustered_points(300, 4, seed=1)
+        assert a is b  # second call is a memo hit, not a regeneration
+        assert not a.flags.writeable
+        stats = points_cache_stats()
+        assert stats["hits"] == 1 and stats["misses"] == 1 and stats["size"] == 1
+    finally:
+        clear_points_cache()
+
+
+def test_clustered_points_memo_bounded_lru():
+    clear_points_cache()
+    try:
+        cap = points_cache_stats()["max_entries"]
+        kept, _ = clustered_points(300, 4, seed=0)
+        # fill the memo, re-touching seed=0 so it stays most-recently-used
+        for seed in range(1, cap):
+            clustered_points(300, 4, seed=seed)
+        assert clustered_points(300, 4, seed=0)[0] is kept
+        # one past the cap: the LRU entry (seed=1) falls out, seed=0 survives
+        clustered_points(300, 4, seed=cap)
+        stats = points_cache_stats()
+        assert stats["size"] == cap and stats["evictions"] == 1
+        assert clustered_points(300, 4, seed=0)[0] is kept
+        refetched, _ = clustered_points(300, 4, seed=1)
+        assert points_cache_stats()["evictions"] == 2  # seed=1 was regenerated
+        np.testing.assert_array_equal(refetched, clustered_points(300, 4, seed=1)[0])
+    finally:
+        clear_points_cache()
 
 
 def test_clustered_points_cluster_structure():

@@ -16,6 +16,7 @@ FAST_EXAMPLES = [
     "graph_analytics.py",
     "variable_coefficient_heat.py",
     "xeon_phi_extension.py",
+    "serve_smoke.py",
 ]
 
 

@@ -1,0 +1,252 @@
+"""The HTTP job service end to end.
+
+Two layers: protocol tests against a gated fake executor (deterministic
+queue/cancel/error behaviour, no sims), and acceptance tests running real
+simulations — concurrent jobs submitted over the API must produce
+makespans repr-equal to the same specs run directly, resubmission must hit
+the result cache, and jobs beyond the rank budget must queue, not crash.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.serve import JobServer, JobSpec, ServeClient, ServeError, execute_job
+
+
+def _spec(seed: int = 0, **over) -> JobSpec:
+    fields = dict(
+        app="heat3d",
+        nodes=2,
+        preset="laptop",
+        mix="cpu",
+        params={"functional_shape": [12, 12, 12], "simulated_steps": 2, "seed": seed},
+    )
+    fields.update(over)
+    return JobSpec(**fields)
+
+
+# ------------------------------------------------------------- protocol
+class GatedExecutor:
+    def __init__(self) -> None:
+        self.release = threading.Event()
+        self.started: list[int] = []
+
+    def __call__(self, spec: JobSpec) -> dict:
+        self.started.append(spec.params.get("seed", 0))
+        assert self.release.wait(10.0)
+        return {"makespan": float(spec.params.get("seed", 0))}
+
+
+@pytest.fixture
+def gated_server():
+    executor = GatedExecutor()
+    with JobServer(port=0, rank_budget=4, max_queued=2, executor=executor) as server:
+        yield ServeClient(server.url), executor
+        executor.release.set()
+
+
+def test_healthz_and_stats(gated_server):
+    client, _ = gated_server
+    assert client.healthy()
+    stats = client.stats()
+    assert stats["rank_budget"] == 4 and stats["jobs"] == 0
+    assert "cache" in stats and "engine" in stats
+
+
+def test_submit_status_queue_cancel_flow(gated_server):
+    client, executor = gated_server
+    first = client.submit(_spec(1, nodes=4))  # occupies the whole budget
+    deadline = time.monotonic() + 5.0
+    while not executor.started and time.monotonic() < deadline:
+        time.sleep(0.005)
+    assert executor.started == [1]
+
+    queued = client.submit(_spec(2))
+    assert queued["state"] == "queued"
+    with pytest.raises(ServeError) as excinfo:
+        client.result(queued["id"])
+    assert excinfo.value.status == 409
+
+    cancelled = client.cancel(queued["id"])
+    assert cancelled["state"] == "cancelled"
+    with pytest.raises(ServeError) as excinfo:
+        client.cancel(first["id"])  # running jobs don't cancel
+    assert excinfo.value.status == 409
+
+    executor.release.set()
+    done = client.wait(first["id"], timeout=10.0)
+    assert done["state"] == "done"
+    assert client.result(first["id"])["result"]["makespan"] == 1.0
+    states = {j["id"]: j["state"] for j in client.jobs()}
+    assert states[queued["id"]] == "cancelled" and states[first["id"]] == "done"
+
+
+def test_queue_full_returns_429(gated_server):
+    client, executor = gated_server
+    client.submit(_spec(1, nodes=4))
+    client.submit(_spec(2))
+    client.submit(_spec(3))
+    with pytest.raises(ServeError) as excinfo:
+        client.submit(_spec(4))
+    assert excinfo.value.status == 429
+    executor.release.set()
+
+
+def test_bad_requests(gated_server):
+    client, _ = gated_server
+    with pytest.raises(ServeError) as excinfo:
+        client.submit({"app": "nbody"})
+    assert excinfo.value.status == 400
+    with pytest.raises(ServeError) as excinfo:
+        client.submit({"app": "heat3d", "nodes": 64})  # over the budget forever
+    assert excinfo.value.status == 400
+    with pytest.raises(ServeError) as excinfo:
+        client.status("nope")
+    assert excinfo.value.status == 404
+    with pytest.raises(ServeError) as excinfo:
+        client._request("GET", "/jobs/x/explode")
+    assert excinfo.value.status == 404
+
+
+def test_failed_job_surfaces_error():
+    def boom(spec):
+        raise RuntimeError("kaboom")
+
+    with JobServer(port=0, executor=boom) as server:
+        client = ServeClient(server.url)
+        job = client.submit(_spec(1))
+        done = client.wait(job["id"], timeout=10.0)
+        assert done["state"] == "failed"
+        body = client.result(job["id"])
+        assert body["state"] == "failed" and "kaboom" in body["error"]
+
+
+# ------------------------------------------------------------- acceptance
+class CountingExecutor:
+    """Real executor, counting executions (to prove cache hits skip work)."""
+
+    def __init__(self) -> None:
+        self.calls = 0
+        self._lock = threading.Lock()
+
+    def __call__(self, spec: JobSpec) -> dict:
+        with self._lock:
+            self.calls += 1
+        return execute_job(spec)
+
+
+def _batch_specs() -> list[JobSpec]:
+    return [
+        _spec(0),
+        _spec(1),
+        JobSpec(
+            app="kmeans",
+            nodes=2,
+            preset="laptop",
+            mix="cpu",
+            params={"functional_points": 3000, "k": 8, "seed": 1},
+        ),
+        JobSpec(
+            app="moldyn",
+            nodes=2,
+            preset="laptop",
+            mix="cpu",
+            params={"functional_nodes": 800, "simulated_steps": 2},
+        ),
+    ]
+
+
+def test_concurrent_jobs_bit_identical_to_direct_runs():
+    """ISSUE 9 acceptance: N>=4 concurrent API jobs == direct runs, and
+    resubmission is a cache hit without re-execution."""
+    specs = _batch_specs()
+    direct = [execute_job(spec) for spec in specs]
+
+    executor = CountingExecutor()
+    with JobServer(port=0, rank_budget=16, executor=executor) as server:
+        client = ServeClient(server.url)
+        jobs = [client.submit(spec) for spec in specs]  # all admitted at once
+        for job, expected in zip(jobs, direct):
+            done = client.wait(job["id"], timeout=300.0)
+            assert done["state"] == "done" and not done["cached"]
+            result = client.result(job["id"])["result"]
+            assert repr(result["makespan"]) == repr(expected["makespan"])
+            assert result["result_digest"] == expected["result_digest"]
+        assert executor.calls == len(specs)
+
+        # Identical resubmission: served from the content-addressed cache.
+        again = client.submit(specs[0])
+        assert again["cached"] and again["state"] == "done"
+        result = client.result(again["id"])["result"]
+        assert repr(result["makespan"]) == repr(direct[0]["makespan"])
+        assert executor.calls == len(specs)  # nothing re-executed
+        assert client.stats()["cache"]["hits"] == 1
+
+
+def test_admission_queues_beyond_budget_then_completes():
+    """Jobs beyond the rank budget queue (never crash) and still finish
+    bit-identically."""
+    specs = [_spec(seed) for seed in range(3)]
+    direct = [execute_job(spec) for spec in specs]
+    with JobServer(port=0, rank_budget=2) as server:  # one 2-rank job at a time
+        client = ServeClient(server.url)
+        jobs = [client.submit(spec) for spec in specs]
+        stats = client.stats()
+        assert stats["ranks_in_use"] <= 2
+        for job, expected in zip(jobs, direct):
+            done = client.wait(job["id"], timeout=300.0)
+            assert done["state"] == "done"
+            result = client.result(job["id"])["result"]
+            assert repr(result["makespan"]) == repr(expected["makespan"])
+
+
+def test_traced_job_exposes_chrome_trace_and_report():
+    from repro.obs.export import validate_chrome_trace
+
+    spec = _spec(0, trace=True)
+    with JobServer(port=0) as server:
+        client = ServeClient(server.url)
+        job = client.submit(spec)
+        client.wait(job["id"], timeout=300.0)
+        trace = client.trace(job["id"])
+        validate_chrome_trace(trace)
+        result = client.result(job["id"])["result"]
+        assert "trace" not in result  # the big document lives on /trace
+        assert result["report"]["makespan"] > 0
+
+        untraced = client.submit(_spec(0))
+        client.wait(untraced["id"], timeout=300.0)
+        with pytest.raises(ServeError) as excinfo:
+            client.trace(untraced["id"])
+        assert excinfo.value.status == 404
+
+
+def test_faulty_checkpointed_job_matches_direct_run():
+    from repro.faults.plan import FaultPlan, RankCrash
+
+    plan = FaultPlan.lossy(
+        seed=7,
+        drop=0.02,
+        dup=0.01,
+        delay=0.02,
+        max_delay=1e-4,
+        crashes=[RankCrash(rank=1, at_time=0.05, restart_cost=0.5)],
+    )
+    spec = _spec(
+        0,
+        params={"functional_shape": [12, 12, 12], "simulated_steps": 4, "seed": 0},
+        options={"reliable": True, "checkpoint_every": 2},
+        fault_plan=plan.to_dict(),
+    )
+    expected = execute_job(spec)
+    assert expected["fault_stats"]["crashes_consumed"] == 1
+    with JobServer(port=0) as server:
+        client = ServeClient(server.url)
+        job = client.submit(spec)
+        client.wait(job["id"], timeout=300.0)
+        result = client.result(job["id"])["result"]
+        assert repr(result["makespan"]) == repr(expected["makespan"])
+        assert result["fault_stats"] == expected["fault_stats"]
+        assert result["metrics"]["recoveries"] == 1

@@ -1,0 +1,104 @@
+"""Concurrent ``spmd_run`` invocations from one process.
+
+The job server runs many sims at once off the shared warm pools, so the
+engine must be re-entrant: interleaved runs get independent fabrics and
+clocks, produce makespans bit-identical to sequential execution, and the
+active-run accounting returns to zero.
+"""
+
+import threading
+
+import numpy as np
+
+from repro.cluster.presets import laptop_cluster
+from repro.sim.engine import active_run_stats, spmd_run
+
+_gate = threading.Event()
+
+
+def _ring(ctx, seed):
+    data = np.full(256, float(ctx.rank + seed))
+    ctx.comm.send(data, (ctx.rank + 1) % ctx.size, tag=3)
+    got = ctx.comm.recv(source=(ctx.rank - 1) % ctx.size, tag=3)
+    return float(np.asarray(got).sum()) + seed
+
+
+def _gated_ring(ctx, seed):
+    assert _gate.wait(10.0)
+    return _ring(ctx, seed)
+
+
+def _run(seed, backend, results, idx):
+    cluster = laptop_cluster(num_nodes=2)
+    kwargs = {"workers": 2} if backend == "processes" else {}
+    results[idx] = spmd_run(
+        _ring, cluster, ranks_per_node=2, args=(seed,), backend=backend, **kwargs
+    )
+
+
+def _assert_interleaved_matches_sequential(backends):
+    sequential = {}
+    for seed, backend in zip((3, 11), backends):
+        holder = [None]
+        _run(seed, backend, holder, 0)
+        sequential[seed] = holder[0]
+
+    results = [None, None]
+    threads = [
+        threading.Thread(target=_run, args=(seed, backend, results, idx))
+        for idx, (seed, backend) in enumerate(zip((3, 11), backends))
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(60.0)
+        assert not t.is_alive()
+
+    for idx, seed in enumerate((3, 11)):
+        expected = sequential[seed]
+        assert results[idx].values == expected.values
+        assert results[idx].times == expected.times
+        assert repr(results[idx].makespan) == repr(expected.makespan)
+    assert active_run_stats() == {"active_runs": 0, "active_ranks": 0}
+
+
+def test_interleaved_thread_backend_runs_are_bit_identical():
+    _assert_interleaved_matches_sequential(("threads", "threads"))
+
+
+def test_interleaved_process_backend_runs_are_bit_identical():
+    # The worker pool serializes process-backend runs under its lock; both
+    # callers must still complete correctly, just one after the other.
+    _assert_interleaved_matches_sequential(("processes", "processes"))
+
+
+def test_mixed_backends_interleave():
+    _assert_interleaved_matches_sequential(("threads", "processes"))
+
+
+def test_active_run_accounting_tracks_overlap():
+    _gate.clear()
+    cluster = laptop_cluster(num_nodes=2)
+    results = [None, None]
+
+    def run(idx):
+        results[idx] = spmd_run(_gated_ring, cluster, args=(idx,))
+
+    threads = [threading.Thread(target=run, args=(idx,)) for idx in range(2)]
+    try:
+        for t in threads:
+            t.start()
+        deadline = threading.Event()
+        for _ in range(1000):
+            if active_run_stats()["active_runs"] == 2:
+                break
+            deadline.wait(0.005)
+        stats = active_run_stats()
+        assert stats["active_runs"] == 2
+        assert stats["active_ranks"] == 4  # two 2-rank jobs in flight
+    finally:
+        _gate.set()
+        for t in threads:
+            t.join(30.0)
+    assert all(r is not None for r in results)
+    assert active_run_stats() == {"active_runs": 0, "active_ranks": 0}
