@@ -25,7 +25,9 @@ convergence loop (Jacobi2D), the temporal-blocking A/B on the
 latency-dominated preset (``stencil_timeblock``, monotonicity asserted),
 the irregular-reduction step loop
 (Moldyn/MiniMD), the Kmeans emit path, the comm-fabric ping-pong hot
-path, and the 384-rank per-core MPI baseline (``baseline_ranks``).
+path, the 384-rank per-core MPI baseline (``baseline_ranks``), and the
+campaign engine A/B (``campaign_throughput``: batched sweep vs sequential
+per-job execution, with a zero-execution warm-re-run gate).
 """
 
 from __future__ import annotations
@@ -90,6 +92,12 @@ def _configs(mode: str) -> dict:
             "pingpong_msgs": 2_000,
             "baseline_ranks_nodes": 32,
             "baseline_ranks": kmeans.KmeansConfig(functional_points=96_000, iterations=2),
+            # Campaign A/B: small per-point workloads — the case watches the
+            # engine's dispatch/batching overhead, not the kernels.
+            "campaign_heat3d": heat3d.Heat3DConfig(
+                functional_shape=(24, 24, 24), simulated_steps=2
+            ),
+            "campaign_kmeans": kmeans.KmeansConfig(functional_points=20_000, iterations=1),
         }
     return {
         "repeats": 3,
@@ -112,6 +120,10 @@ def _configs(mode: str) -> dict:
         "pingpong_msgs": 5_000,
         "baseline_ranks_nodes": 32,
         "baseline_ranks": kmeans.KmeansConfig(functional_points=96_000, iterations=3),
+        "campaign_heat3d": heat3d.Heat3DConfig(
+            functional_shape=(36, 36, 36), simulated_steps=3
+        ),
+        "campaign_kmeans": kmeans.KmeansConfig(functional_points=60_000, iterations=1),
     }
 
 
@@ -408,6 +420,101 @@ def bench_threads_vs_processes(cfg: dict) -> dict:
     }
 
 
+def bench_campaign_throughput(cfg: dict) -> dict:
+    """A/B the campaign engine against sequential per-job execution.
+
+    The batched arm runs the whole sweep through
+    :class:`~repro.campaign.runner.CampaignRunner` (one ``submit_many``,
+    widest-first ordering, dataset pre-warm, concurrent dispatch under the
+    rank budget); the sequential arm executes the same specs one
+    ``execute_job`` at a time — the pre-campaign workflow.  Interleaved
+    best-of-3 so machine noise hits both arms alike.
+
+    Two hard assertions, host-independent:
+
+    - every per-point virtual makespan is bit-identical across arms (the
+      campaign engine must never touch simulated physics), and
+    - a warm re-run over a fresh persistent store executes **zero** jobs
+      (``warm_rerun_executed``, gated at 0 in :func:`compare`).
+
+    The speed gate (batched >= sequential) applies only on multi-core
+    hosts, like ``threads_vs_processes``: with one core the concurrent arm
+    honestly shows scheduling overhead without the parallelism that pays
+    for it.
+    """
+    import os
+    import tempfile
+
+    from repro.campaign import CampaignRunner, CampaignSpec
+    from repro.serve import execute_job
+
+    campaign = CampaignSpec.from_dict(
+        {
+            "name": "bench",
+            "axes": {
+                "app": ["heat3d", "kmeans"],
+                "preset": "laptop",
+                "mix": "cpu",
+                "nodes": [1, 2],
+                "seed": [0, 1],
+            },
+            "app_params": {
+                "heat3d": {
+                    "functional_shape": list(cfg["campaign_heat3d"].functional_shape),
+                    "simulated_steps": cfg["campaign_heat3d"].simulated_steps,
+                },
+                "kmeans": {
+                    "functional_points": cfg["campaign_kmeans"].functional_points,
+                    "iterations": cfg["campaign_kmeans"].iterations,
+                },
+            },
+            "backend": None,  # identical engine path in both arms
+        }
+    )
+    specs = campaign.expand()
+    cores = os.cpu_count() or 1
+
+    seq_wall = bat_wall = float("inf")
+    seq_spans = bat_spans = None
+    for _ in range(3):
+        t0 = time.perf_counter()
+        seq_results = [execute_job(spec) for spec in specs]
+        seq_wall = min(seq_wall, time.perf_counter() - t0)
+        seq_spans = [r["makespan"] for r in seq_results]
+        t0 = time.perf_counter()
+        run = CampaignRunner(campaign, store=None, rank_budget=64).run()
+        bat_wall = min(bat_wall, time.perf_counter() - t0)
+        if not run.ok:
+            raise AssertionError(f"campaign arm failed: {run.failures()}")
+        bat_spans = [row["makespan"] for row in run.rows]
+    if repr(seq_spans) != repr(bat_spans):
+        raise AssertionError(
+            f"campaign makespans drifted from direct execution: "
+            f"{seq_spans!r} vs {bat_spans!r}"
+        )
+
+    # Persistence phase: cold fill then warm re-run over one store.
+    with tempfile.TemporaryDirectory() as store:
+        cold = CampaignRunner(campaign, store=store, rank_budget=64).run()
+        warm = CampaignRunner(campaign, store=store, rank_budget=64).run()
+    if cold.stats["executed"] != len(specs):
+        raise AssertionError(
+            f"cold campaign executed {cold.stats['executed']} of {len(specs)}"
+        )
+    return {
+        "campaign_throughput": {
+            "batched_wall_s": round(bat_wall, 4),
+            "sequential_wall_s": round(seq_wall, 4),
+            "speedup": round(seq_wall / max(bat_wall, 1e-9), 4),
+            "jobs": len(specs),
+            "cores": cores,
+            "warm_rerun_executed": warm.stats["executed"],
+            "warm_store_hits": warm.stats["store_hits"],
+            "makespan": bat_spans,
+        }
+    }
+
+
 def bench_obs_overhead(cfg: dict) -> dict:
     """Instrumented vs uninstrumented wall clock for one functional run.
 
@@ -470,6 +577,7 @@ def collect(mode: str) -> dict:
     record["cases"].update(bench_obs_overhead(cfg))
     record["cases"].update(bench_fabric_comm(cfg))
     record["cases"].update(bench_threads_vs_processes(cfg))
+    record["cases"].update(bench_campaign_throughput(cfg))
     return record
 
 
@@ -545,6 +653,26 @@ def compare(record: dict, baseline_path: Path, threshold: float) -> int:
             print(
                 "SKIP threads_vs_processes speed gate: single-core host "
                 f"(speedup {ab['speedup']:.2f}x recorded, not gated)"
+            )
+    camp = record["cases"].get("campaign_throughput")
+    if camp is not None:
+        if camp["warm_rerun_executed"] != 0:
+            failures.append(
+                f"campaign_throughput: warm re-run executed "
+                f"{camp['warm_rerun_executed']} job(s); the persistent store "
+                "must answer every repeated point"
+            )
+        if camp["cores"] > 1 and camp["batched_wall_s"] > camp["sequential_wall_s"]:
+            failures.append(
+                f"campaign_throughput: batched campaign slower than sequential "
+                f"execution on a {camp['cores']}-core host "
+                f"({camp['batched_wall_s']}s vs {camp['sequential_wall_s']}s, "
+                f"{camp['speedup']:.2f}x)"
+            )
+        elif camp["cores"] <= 1:
+            print(
+                "SKIP campaign_throughput speed gate: single-core host "
+                f"(speedup {camp['speedup']:.2f}x recorded, not gated)"
             )
     for name, case in record["cases"].items():
         base = base_cases.get(name)

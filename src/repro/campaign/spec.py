@@ -1,0 +1,282 @@
+"""Declarative campaign specs: the paper's whole evaluation as one file.
+
+A :class:`CampaignSpec` names a sweep the way the paper's figures are
+organized — apps x cluster presets x node counts x device mixes x scales x
+seeds x fault plans — and expands it **deterministically** into canonical
+:class:`~repro.serve.spec.JobSpec` points.  Determinism matters twice:
+the same campaign file always produces the same spec list (so run tables
+are comparable across machines), and every point's identity is its
+``content_hash``, so a repeated or extended campaign re-executes only the
+points the persistent :class:`~repro.serve.store.ResultStore` has never
+seen.
+
+The JSON form::
+
+    {
+      "name": "fig5-sweep",
+      "axes": {
+        "app":    ["heat3d", "kmeans"],
+        "preset": ["laptop"],
+        "nodes":  [1, 2, 4],
+        "mix":    ["cpu", "cpu+2gpu"],
+        "scale":  ["quick"],
+        "seed":   [0, 1],
+        "fault_plan": [null]
+      },
+      "params":      {...},                  # config overrides, all apps
+      "app_params":  {"heat3d": {...}},      # config overrides, one app
+      "options":     {...},                  # run() keywords, all apps
+      "app_options": {"heat3d": {...}},      # run() keywords, one app
+      "backend": "auto", "workers": null, "trace": false,
+      "points": [ {full JobSpec document}, ... ]   # explicit extras
+    }
+
+Axes multiply (the cartesian product, in the fixed axis order above);
+``points`` appends hand-written :class:`JobSpec` documents for anything a
+product can't express.  The ``seed`` axis writes each app's ``seed``
+config field; ``fault_plan`` entries are
+:meth:`~repro.faults.plan.FaultPlan.to_dict` documents or ``null``.
+``backend: "auto"`` resolves to the process backend on multi-core hosts
+(wall-clock throughput; virtual makespans are backend-invariant and the
+backend never enters a spec's content hash).
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Mapping
+
+from repro.serve.spec import JobSpec
+from repro.util.errors import ValidationError
+
+#: Axis names, in expansion (outer to inner) order.
+AXES = ("app", "preset", "nodes", "mix", "scale", "seed", "fault_plan")
+
+#: Default value per axis when a campaign omits it.
+_AXIS_DEFAULTS: dict[str, tuple] = {
+    "preset": ("ohio",),
+    "nodes": (4,),
+    "mix": ("cpu+2gpu",),
+    "scale": ("quick",),
+    "seed": (None,),
+    "fault_plan": (None,),
+}
+
+
+def resolve_campaign_backend(backend: str | None) -> str | None:
+    """``"auto"`` -> processes on multi-core hosts, engine default else."""
+    if backend != "auto":
+        return backend
+    return "processes" if (os.cpu_count() or 1) > 1 else None
+
+
+@dataclass(frozen=True)
+class CampaignSpec:
+    """A declarative sweep over the job service's spec space.
+
+    Args:
+        name: Campaign name (labels the run table and report).
+        axes: Axis name -> value list; see :data:`AXES`.  ``app`` is
+            required and non-empty; omitted axes take single-point
+            defaults.
+        params: Config-field overrides applied to every point.
+        app_params: Per-app config overrides (layered over ``params``;
+            the place for fields that only exist on one app's config).
+        options: App ``run()`` keyword options applied to every point.
+        app_options: Per-app option overrides (layered over ``options``).
+        backend: ``"auto"`` (processes on multi-core hosts), an explicit
+            backend name, or ``None`` to honour the environment.
+        workers: Process-backend worker count override.
+        trace: Record every job (utilization / critical-path columns in
+            the run table at the cost of per-job tracing overhead).
+        points: Extra explicit :class:`JobSpec` documents appended after
+            the product, for shapes the axes can't express.
+    """
+
+    name: str
+    axes: Mapping[str, tuple]
+    params: Mapping[str, Any] = field(default_factory=dict)
+    app_params: Mapping[str, Mapping[str, Any]] = field(default_factory=dict)
+    options: Mapping[str, Any] = field(default_factory=dict)
+    app_options: Mapping[str, Mapping[str, Any]] = field(default_factory=dict)
+    backend: str | None = "auto"
+    workers: int | None = None
+    trace: bool = False
+    points: tuple = ()
+
+    def __post_init__(self) -> None:
+        if not self.name or not isinstance(self.name, str):
+            raise ValidationError(f"campaign name must be a non-empty string, got {self.name!r}")
+        axes = {
+            k: tuple(v) if isinstance(v, (list, tuple)) else (v,)
+            for k, v in dict(self.axes).items()
+        }
+        unknown = set(axes) - set(AXES)
+        if unknown:
+            raise ValidationError(
+                f"unknown campaign axes {sorted(unknown)}; known: {list(AXES)}"
+            )
+        if not axes.get("app"):
+            raise ValidationError("campaign needs a non-empty 'app' axis")
+        for axis, values in axes.items():
+            if len(values) == 0:
+                raise ValidationError(f"axis {axis!r} must not be empty")
+            if len(set(map(_freeze, values))) != len(values):
+                raise ValidationError(f"axis {axis!r} has duplicate values")
+        object.__setattr__(self, "axes", axes)
+        object.__setattr__(self, "params", dict(self.params or {}))
+        object.__setattr__(
+            self, "app_params", {k: dict(v) for k, v in dict(self.app_params or {}).items()}
+        )
+        object.__setattr__(self, "options", dict(self.options or {}))
+        object.__setattr__(
+            self, "app_options", {k: dict(v) for k, v in dict(self.app_options or {}).items()}
+        )
+        object.__setattr__(self, "points", tuple(dict(p) for p in self.points))
+        if self.backend not in (None, "auto"):
+            from repro.sim.engine import resolve_backend
+
+            resolve_backend(self.backend)  # raises on unknown names
+        for scope in (self.app_params, self.app_options):
+            stray = set(scope) - set(self.axes["app"])
+            if stray:
+                raise ValidationError(
+                    f"per-app overrides name apps outside the 'app' axis: {sorted(stray)}"
+                )
+
+    # -- expansion ---------------------------------------------------------
+    def axis(self, name: str) -> tuple:
+        return self.axes.get(name, _AXIS_DEFAULTS.get(name, ()))
+
+    def n_points(self) -> int:
+        total = 1
+        for axis in AXES:
+            total *= len(self.axis(axis))
+        return total + len(self.points)
+
+    def expand(self) -> list[JobSpec]:
+        """The campaign's canonical :class:`JobSpec` list.
+
+        Deterministic: the cartesian product in :data:`AXES` order (outer
+        to inner), then explicit ``points`` — same file, same list,
+        everywhere.  Every point is validated at construction, so a typo'd
+        param fails the whole expansion up front, not mid-sweep.
+        """
+        backend = resolve_campaign_backend(self.backend)
+        specs: list[JobSpec] = []
+        for app, preset, nodes, mix, scale, seed, plan in itertools.product(
+            *(self.axis(a) for a in AXES)
+        ):
+            params = dict(self.params)
+            params.update(self.app_params.get(app, {}))
+            if seed is not None:
+                params["seed"] = seed
+            options = dict(self.options)
+            options.update(self.app_options.get(app, {}))
+            try:
+                specs.append(
+                    JobSpec(
+                        app=app,
+                        nodes=nodes,
+                        mix=mix,
+                        preset=preset,
+                        scale=scale,
+                        params=params,
+                        options=options,
+                        fault_plan=plan,
+                        backend=backend,
+                        workers=self.workers,
+                        trace=self.trace,
+                    )
+                )
+            except ValidationError as exc:
+                raise ValidationError(
+                    f"campaign {self.name!r} point "
+                    f"(app={app}, preset={preset}, nodes={nodes}, mix={mix}, "
+                    f"scale={scale}, seed={seed}) is invalid: {exc}"
+                ) from None
+        for i, doc in enumerate(self.points):
+            try:
+                spec = JobSpec.from_dict(doc)
+            except ValidationError as exc:
+                raise ValidationError(
+                    f"campaign {self.name!r} explicit point #{i} is invalid: {exc}"
+                ) from None
+            if spec.backend is None and backend is not None:
+                spec = JobSpec.from_dict({**spec.to_dict(), "backend": backend})
+            specs.append(spec)
+        return specs
+
+    # -- wire format -------------------------------------------------------
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "axes": {k: list(v) for k, v in self.axes.items()},
+            "params": dict(self.params),
+            "app_params": {k: dict(v) for k, v in self.app_params.items()},
+            "options": dict(self.options),
+            "app_options": {k: dict(v) for k, v in self.app_options.items()},
+            "backend": self.backend,
+            "workers": self.workers,
+            "trace": self.trace,
+            "points": [dict(p) for p in self.points],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "CampaignSpec":
+        if not isinstance(data, Mapping):
+            raise ValidationError(
+                f"campaign spec must be an object, got {type(data).__name__}"
+            )
+        known = {
+            "name", "axes", "params", "app_params", "options", "app_options",
+            "backend", "workers", "trace", "points",
+        }
+        unknown = set(data) - known
+        if unknown:
+            raise ValidationError(
+                f"unknown campaign fields {sorted(unknown)}; known: {sorted(known)}"
+            )
+        if "name" not in data or "axes" not in data:
+            raise ValidationError("campaign spec requires 'name' and 'axes' fields")
+        axes = data["axes"]
+        if not isinstance(axes, Mapping):
+            raise ValidationError("campaign 'axes' must be an object of value lists")
+        return cls(
+            name=data["name"],
+            axes={k: tuple(v) if isinstance(v, (list, tuple)) else (v,) for k, v in axes.items()},
+            params=data.get("params") or {},
+            app_params=data.get("app_params") or {},
+            options=data.get("options") or {},
+            app_options=data.get("app_options") or {},
+            backend=data.get("backend", "auto"),
+            workers=data.get("workers"),
+            trace=bool(data.get("trace", False)),
+            points=tuple(data.get("points") or ()),
+        )
+
+    @classmethod
+    def load(cls, path: str | Path) -> "CampaignSpec":
+        """Read a campaign spec from a JSON file."""
+        try:
+            text = Path(path).read_text(encoding="utf-8")
+        except OSError as exc:
+            raise ValidationError(f"cannot read campaign file {path}: {exc}") from None
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ValidationError(f"campaign file {path} is not valid JSON: {exc}") from None
+        return cls.from_dict(data)
+
+
+def _freeze(value: Any) -> Any:
+    """Hashable view of an axis value (fault plans are dicts)."""
+    if isinstance(value, Mapping):
+        return json.dumps(value, sort_keys=True)
+    if isinstance(value, (list, tuple)):
+        return tuple(_freeze(v) for v in value)
+    return value

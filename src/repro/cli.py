@@ -10,9 +10,12 @@ Examples::
     python -m repro profile heat3d --scale quick
     python -m repro figure table2 --scale quick
     python -m repro codesize
-    python -m repro serve --port 8642
+    python -m repro serve --port 8642 --store ~/.cache/repro/results
     python -m repro submit heat3d --nodes 4 --param simulated_steps=2
+    python -m repro submit --batch jobs.json
     python -m repro jobs --stats
+    python -m repro campaign run sweep.json --out run.json --report
+    python -m repro campaign status sweep.json
 """
 
 from __future__ import annotations
@@ -282,9 +285,23 @@ def build_parser() -> argparse.ArgumentParser:
     serve_p.add_argument(
         "--verbose", action="store_true", help="log every HTTP request to stderr"
     )
+    serve_p.add_argument(
+        "--store",
+        default=None,
+        metavar="DIR",
+        help="persistent result store directory (survives restarts; "
+        "'none' disables, default: in-memory cache only)",
+    )
 
-    sub_p = sub.add_parser("submit", help="submit one job to a running job server")
-    sub_p.add_argument("app", choices=sorted(_APPS))
+    sub_p = sub.add_parser("submit", help="submit job(s) to a running job server")
+    sub_p.add_argument("app", nargs="?", choices=sorted(_APPS))
+    sub_p.add_argument(
+        "--batch",
+        default=None,
+        metavar="FILE.json",
+        help="submit a JSON list of job specs in one round trip instead of "
+        "a single app (one outcome per spec; a bad spec never fails the batch)",
+    )
     sub_p.add_argument("--nodes", type=int, default=4, help="cluster nodes")
     sub_p.add_argument(
         "--mix", choices=sorted(DEVICE_MIXES), default="cpu+2gpu", help="device mix per node"
@@ -340,6 +357,58 @@ def build_parser() -> argparse.ArgumentParser:
     add_url_arg(jobs_p)
     jobs_p.add_argument(
         "--stats", action="store_true", help="print server/scheduler/cache statistics instead"
+    )
+
+    camp_p = sub.add_parser(
+        "campaign", help="expand and run a declarative sweep (the campaign engine)"
+    )
+    camp_sub = camp_p.add_subparsers(dest="campaign_command", required=True)
+
+    def add_store_arg(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--store",
+            default=None,
+            metavar="DIR",
+            help="persistent result store (default: REPRO_STORE, else "
+            "~/.cache/repro/results; 'none' disables persistence)",
+        )
+
+    camp_run = camp_sub.add_parser(
+        "run", help="execute every point of a campaign spec at max throughput"
+    )
+    camp_run.add_argument("spec", metavar="SPEC.json", help="campaign spec file")
+    add_store_arg(camp_run)
+    add_url_arg(camp_run)
+    camp_run.add_argument(
+        "--rank-budget",
+        type=int,
+        default=64,
+        metavar="N",
+        help="in-process scheduler rank budget (ignored with --url)",
+    )
+    camp_run.add_argument(
+        "--timeout", type=float, default=3600.0, metavar="S", help="sweep deadline"
+    )
+    camp_run.add_argument(
+        "--out", default=None, metavar="FILE.json", help="write the run document here"
+    )
+    camp_run.add_argument(
+        "--report",
+        action="store_true",
+        help="render the full report (speedup bars, scaling curves, fault tables)",
+    )
+
+    camp_status = camp_sub.add_parser(
+        "status", help="expand a campaign and probe the store — no execution"
+    )
+    camp_status.add_argument("spec", metavar="SPEC.json", help="campaign spec file")
+    add_store_arg(camp_status)
+
+    camp_report = camp_sub.add_parser(
+        "report", help="render the report from a saved run document"
+    )
+    camp_report.add_argument(
+        "doc", metavar="RUN.json", help="document written by 'campaign run --out'"
     )
     return parser
 
@@ -606,9 +675,21 @@ def _parse_kv_pairs(pairs: list[str], flag: str) -> dict:
     return out
 
 
+def _resolve_store(arg: str | None, *, default_on: bool = False):
+    """``--store`` flag -> ResultStore | None ('none' always disables)."""
+    from repro.serve import ResultStore, default_store_root
+
+    if arg is not None:
+        if arg.lower() == "none":
+            return None
+        return ResultStore(arg)
+    return ResultStore(default_store_root()) if default_on else None
+
+
 def cmd_serve(args: argparse.Namespace) -> None:  # pragma: no cover - blocks forever
     from repro.serve import JobServer, served_app_names
 
+    store = _resolve_store(args.store)
     server = JobServer(
         host=args.host,
         port=args.port,
@@ -616,12 +697,15 @@ def cmd_serve(args: argparse.Namespace) -> None:  # pragma: no cover - blocks fo
         cache_size=args.cache_size,
         max_queued=args.max_queued,
         verbose=args.verbose,
+        store_dir=None if store is None else store.root,
     )
     with server:
         print(f"repro job server listening on {server.url}")
         print(f"  apps        : {', '.join(served_app_names())}")
         print(f"  rank budget : {args.rank_budget} | cache: {args.cache_size} "
               f"| queue: {args.max_queued}")
+        if store is not None:
+            print(f"  store       : {store.root}")
         print("  submit with : python -m repro submit <app> "
               f"--url {server.url}  (Ctrl-C stops)")
         try:
@@ -630,8 +714,63 @@ def cmd_serve(args: argparse.Namespace) -> None:  # pragma: no cover - blocks fo
             print("shutting down")
 
 
+def _cmd_submit_batch(args: argparse.Namespace) -> str:
+    import json
+    from pathlib import Path
+
+    from repro.serve import ServeClient, ServeError
+
+    try:
+        data = json.loads(Path(args.batch).read_text(encoding="utf-8"))
+    except (OSError, ValueError) as exc:
+        raise SystemExit(f"cannot read batch file {args.batch}: {exc}") from None
+    if isinstance(data, dict):
+        data = data.get("jobs")
+    if not isinstance(data, list) or not data:
+        raise SystemExit(
+            f"{args.batch} must hold a non-empty JSON list of job specs "
+            "(or {'jobs': [...]})"
+        )
+    client = ServeClient(_serve_url(args))
+    try:
+        entries = client.submit_many(data)
+    except ServeError as exc:
+        raise SystemExit(f"batch submit failed: {exc}") from None
+    accepted = [e for e in entries if "id" in e]
+    lines = [
+        f"batch of {len(entries)} spec(s): {len(accepted)} accepted, "
+        f"{len(entries) - len(accepted)} rejected"
+    ]
+    for e in entries:
+        if "id" not in e:
+            lines.append(f"  [{e['index']}] rejected: {e['error']}")
+        else:
+            cached = " (cached)" if e.get("cached") else ""
+            lines.append(f"  [{e['index']}] {e['id']}  {e['state']}{cached}")
+    pending = [e["id"] for e in accepted if e["state"] not in ("done", "failed", "cancelled")]
+    if args.no_wait or not pending:
+        if pending:
+            lines.append(f"  poll with: python -m repro jobs --url {client.url}")
+        return "\n".join(lines)
+    done = client.wait_many(pending, timeout=args.timeout)
+    states: dict[str, int] = {}
+    for status in done.values():
+        states[status["state"]] = states.get(status["state"], 0) + 1
+    lines.append(
+        "  finished: " + ", ".join(f"{n} {s}" for s, n in sorted(states.items()))
+    )
+    return "\n".join(lines)
+
+
 def cmd_submit(args: argparse.Namespace) -> str:
     from repro.serve import JobSpec, ServeClient, ServeError
+
+    if args.batch is not None and args.app is not None:
+        raise SystemExit("give either an app or --batch FILE, not both")
+    if args.batch is not None:
+        return _cmd_submit_batch(args)
+    if args.app is None:
+        raise SystemExit("submit needs an app (or --batch FILE)")
 
     options = _parse_kv_pairs(args.option, "--option")
     plan = _fault_plan_from_args(args)
@@ -712,6 +851,84 @@ def cmd_jobs(args: argparse.Namespace) -> str:
     return "\n".join(lines)
 
 
+def cmd_campaign(args: argparse.Namespace) -> str:
+    import json
+    from pathlib import Path
+
+    from repro.campaign import CampaignRunner, CampaignSpec, render_report
+    from repro.util.errors import ValidationError
+
+    if args.campaign_command == "report":
+        try:
+            doc = json.loads(Path(args.doc).read_text(encoding="utf-8"))
+        except (OSError, ValueError) as exc:
+            raise SystemExit(f"cannot read run document {args.doc}: {exc}") from None
+        return render_report(doc)
+
+    try:
+        spec = CampaignSpec.load(args.spec)
+    except ValidationError as exc:
+        raise SystemExit(f"invalid campaign: {exc}") from None
+    store = _resolve_store(args.store, default_on=True)
+
+    if args.campaign_command == "status":
+        status = CampaignRunner(spec, store=store).status()
+        lines = [
+            f"campaign {status['campaign']!r}: {status['points']} point(s), "
+            f"{status['stored']} stored, {status['missing']} to run",
+            f"  store: {status['store'] or '(none)'}",
+        ]
+        for row in status["rows"]:
+            mark = "done " if row["stored"] else "todo "
+            seed = "-" if row["seed"] is None else row["seed"]
+            lines.append(
+                f"  {mark} {row['app']}/{row['preset']} n{row['nodes']} "
+                f"{row['mix']} {row['scale']} seed={seed}"
+                f"{' +faults' if row['faulty'] else ''}  {row['spec_hash'][:12]}"
+            )
+        return "\n".join(lines)
+
+    # campaign run
+    client = None
+    if args.url is not None:
+        from repro.serve import ServeClient
+
+        client = ServeClient(_serve_url(args))
+    runner = CampaignRunner(
+        spec,
+        store=None if client is not None else store,
+        client=client,
+        rank_budget=args.rank_budget,
+        timeout=args.timeout,
+    )
+    try:
+        result = runner.run()
+    except ValidationError as exc:
+        raise SystemExit(f"campaign failed: {exc}") from None
+    doc = result.to_dict()
+    out_lines = []
+    if args.out:
+        Path(args.out).write_text(json.dumps(doc, indent=2), encoding="utf-8")
+        out_lines.append(f"run document written to {args.out}")
+    if args.report:
+        out_lines.append(render_report(doc))
+    else:
+        from repro.campaign import run_table
+
+        out_lines.append(
+            run_table(doc["rows"], title=f"campaign {result.name!r}")
+        )
+        s = result.stats
+        out_lines.append(
+            f"points={s['points']} executed={s['executed']} "
+            f"cache_hits={s['cache_hits']} store_hits={s['store_hits']} "
+            f"wall={s['wall_s']}s"
+        )
+    if not result.ok:
+        out_lines.append(f"WARNING: {len(result.failures())} point(s) did not complete")
+    return "\n".join(out_lines)
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "info":
@@ -730,6 +947,8 @@ def main(argv: list[str] | None = None) -> int:
         print(cmd_submit(args))
     elif args.command == "jobs":
         print(cmd_jobs(args))
+    elif args.command == "campaign":
+        print(cmd_campaign(args))
     return 0
 
 

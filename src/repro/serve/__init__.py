@@ -12,6 +12,9 @@ Pieces:
   — what a job *is*, its content hash, and the reference executor.
 - :class:`~repro.serve.cache.ResultCache` — content-addressed LRU of
   completed results (identical jobs return without re-execution).
+- :class:`~repro.serve.store.ResultStore` — the persistent on-disk tier
+  beneath the LRU: atomic per-hash JSON entries that survive restarts and
+  are shared by every process pointed at the same directory.
 - :class:`~repro.serve.scheduler.JobScheduler` — priority queues,
   per-job rank budgets, admission control, concurrent execution.
 - :class:`~repro.serve.server.JobServer` — the localhost HTTP API.
@@ -28,6 +31,7 @@ from repro.serve.client import DEFAULT_URL, ServeClient, ServeError
 from repro.serve.scheduler import AdmissionError, Job, JobScheduler, TERMINAL_STATES
 from repro.serve.server import JobServer
 from repro.serve.spec import JobSpec, execute_job, served_app_names
+from repro.serve.store import ResultStore, default_store_root
 
 __all__ = [
     "AdmissionError",
@@ -37,9 +41,11 @@ __all__ = [
     "JobServer",
     "JobSpec",
     "ResultCache",
+    "ResultStore",
     "ServeClient",
     "ServeError",
     "TERMINAL_STATES",
+    "default_store_root",
     "execute_job",
     "served_app_names",
 ]

@@ -81,6 +81,22 @@ class ServeClient:
         payload = spec.to_dict() if isinstance(spec, JobSpec) else dict(spec)
         return self._request("POST", "/jobs", payload)
 
+    def submit_many(
+        self, specs: list[JobSpec | Mapping[str, Any]]
+    ) -> list[dict[str, Any]]:
+        """Submit a whole spec list in **one** HTTP round trip.
+
+        Returns one entry per spec, in order: a job status document
+        (possibly already ``done`` via the server's result cache or
+        persistent store — check ``cached``) or ``{"error": ...}`` for the
+        specs the server refused.  One bad spec never fails the batch.
+        """
+        payload = [
+            spec.to_dict() if isinstance(spec, JobSpec) else dict(spec)
+            for spec in specs
+        ]
+        return self._request("POST", "/jobs/batch", {"jobs": payload})["jobs"]
+
     def jobs(self) -> list[dict[str, Any]]:
         return self._request("GET", "/jobs")["jobs"]
 
@@ -110,3 +126,32 @@ class ServeClient:
                     f"job {job_id} still {status['state']} after {timeout}s"
                 )
             time.sleep(poll)
+
+    def wait_many(
+        self, job_ids: list[str], *, timeout: float = 600.0, poll: float = 0.05
+    ) -> dict[str, dict[str, Any]]:
+        """Poll until every listed job is terminal; id -> final status.
+
+        One shared deadline covers the whole set (a campaign waits for the
+        sweep, not for each point in sequence).
+        """
+        deadline = time.monotonic() + timeout
+        done: dict[str, dict[str, Any]] = {}
+        pending = list(dict.fromkeys(job_ids))
+        while pending:
+            still: list[str] = []
+            for job_id in pending:
+                status = self.status(job_id)
+                if status["state"] in TERMINAL_STATES:
+                    done[job_id] = status
+                else:
+                    still.append(job_id)
+            pending = still
+            if pending:
+                if time.monotonic() >= deadline:
+                    raise TimeoutError(
+                        f"{len(pending)} job(s) still running after {timeout}s: "
+                        f"{pending[:5]}"
+                    )
+                time.sleep(poll)
+        return done

@@ -14,9 +14,22 @@ The scheduler owns the server's concurrency policy:
   the highest-priority job doesn't fit the remaining budget, a smaller,
   lower-priority job may start ahead of it (no head-of-line blocking behind
   wide jobs; wide jobs still win as soon as the budget drains).
+- **Anti-starvation aging.**  Pure first-fit backfill can starve a wide
+  high-priority job forever: it fits the *total* budget but a steady
+  stream of narrow jobs keeps the *instantaneous* remainder too small.
+  Every time a queued job is jumped by a later-ordered job that fits, its
+  ``passed_over`` count ages; once it reaches ``starvation_limit`` the
+  dispatcher reserves the budget for it — nothing ordered behind it starts
+  until the running set drains enough for it to fit.
 - **Result cache.**  Submission consults the content-addressed
   :class:`~repro.serve.cache.ResultCache` first; a hit completes the job
-  instantly (``cached=True``) without touching the queue.
+  instantly (``cached=True``) without touching the queue.  With a
+  persistent :class:`~repro.serve.store.ResultStore` layered beneath the
+  cache, hits survive server restarts.
+- **Batch submission.**  :meth:`JobScheduler.submit_many` admits a whole
+  spec list in one call, returning a per-spec outcome (job, cached result,
+  or admission error) without failing the rest of the batch — the
+  round-trip shape campaigns need.
 
 Execution itself is delegated to an ``executor`` callable (by default
 :func:`repro.serve.spec.execute_job`); each admitted job runs on its own
@@ -60,6 +73,7 @@ class Job:
     submitted_at: float = field(default_factory=time.time)
     started_at: float | None = None
     finished_at: float | None = None
+    passed_over: int = 0  # dispatches that jumped this job while queued
 
     @property
     def ranks(self) -> int:
@@ -97,13 +111,19 @@ class JobScheduler:
         rank_budget: int = 64,
         cache: ResultCache | None = None,
         max_queued: int = 1024,
+        starvation_limit: int = 4,
     ) -> None:
         if rank_budget < 1:
             raise ValidationError(f"rank_budget must be >= 1, got {rank_budget}")
         if max_queued < 0:
             raise ValidationError(f"max_queued must be >= 0, got {max_queued}")
+        if starvation_limit < 1:
+            raise ValidationError(
+                f"starvation_limit must be >= 1, got {starvation_limit}"
+            )
         self.rank_budget = rank_budget
         self.max_queued = max_queued
+        self.starvation_limit = starvation_limit
         self.cache = cache if cache is not None else ResultCache()
         self._executor = executor if executor is not None else execute_job
         self._cond = threading.Condition()
@@ -113,11 +133,25 @@ class JobScheduler:
         self._seq = 0
         self._executed = 0
         self._cache_hits = 0
+        self._batches = 0
+        self._pass_overs = 0
+        self._reservations = 0
+        # Rank-budget utilization: integral of ranks_in_use over wall time.
+        self._util_started = time.monotonic()
+        self._util_marked = self._util_started
+        self._busy_rank_seconds = 0.0
         self._shutdown = False
         self._dispatcher = threading.Thread(
             target=self._dispatch_loop, name="serve-dispatcher", daemon=True
         )
         self._dispatcher.start()
+
+    def _change_ranks_locked(self, delta: int) -> None:
+        """Adjust ``_ranks_in_use``, accruing the utilization integral."""
+        now = time.monotonic()
+        self._busy_rank_seconds += (now - self._util_marked) * self._ranks_in_use
+        self._util_marked = now
+        self._ranks_in_use += delta
 
     # -- submission ------------------------------------------------------
     def submit(self, spec: JobSpec) -> Job:
@@ -159,21 +193,55 @@ class JobScheduler:
             self._cond.notify_all()
         return job
 
+    def submit_many(self, specs: list[JobSpec]) -> list[dict[str, Any]]:
+        """Admit a whole batch; per-spec outcomes, no all-or-nothing.
+
+        Returns one entry per spec, in order:
+
+        - ``{"ok": True, "job": Job}`` — admitted (possibly already done
+          via the result cache/store; check ``job.cached``), or
+        - ``{"ok": False, "error": str}`` — this spec was refused
+          (over-budget forever, queue full, scheduler shut down) without
+          affecting the rest of the batch.
+        """
+        out: list[dict[str, Any]] = []
+        for spec in specs:
+            try:
+                out.append({"ok": True, "job": self.submit(spec)})
+            except AdmissionError as exc:
+                out.append({"ok": False, "error": str(exc)})
+        with self._cond:
+            self._batches += 1
+        return out
+
     # -- dispatch ---------------------------------------------------------
     def _pick_locked(self) -> Job | None:
         """Best queued job that fits the remaining budget (first fit in
-        priority order), or None."""
+        priority order), or None.
+
+        First fit is tempered by aging: walking the queue best-first, a
+        job that doesn't fit is normally jumped (and its ``passed_over``
+        aged — only when the walk really dispatches someone later), but a
+        job that has already been jumped ``starvation_limit`` times closes
+        the gate: nothing ordered behind it dispatches until the running
+        set drains enough for it to fit.  That reserves the freed budget
+        for the starved job instead of letting backfill nibble it away.
+        """
         available = self.rank_budget - self._ranks_in_use
-        best: Job | None = None
-        for job in self._queue:
-            if job.ranks > available:
-                continue
-            if best is None or (-job.spec.priority, job.seq) < (
-                -best.spec.priority,
-                best.seq,
-            ):
-                best = job
-        return best
+        skipped: list[Job] = []
+        for job in sorted(self._queue, key=lambda j: (-j.spec.priority, j.seq)):
+            if job.ranks <= available:
+                if skipped:
+                    self._pass_overs += len(skipped)
+                    for jumped in skipped:
+                        jumped.passed_over += 1
+                return job
+            if job.passed_over >= self.starvation_limit:
+                # Budget reservation: this job has waited long enough.
+                self._reservations += 1
+                return None
+            skipped.append(job)
+        return None
 
     def _dispatch_loop(self) -> None:
         while True:
@@ -187,7 +255,7 @@ class JobScheduler:
                 self._queue.remove(job)
                 job.state = "running"
                 job.started_at = time.time()
-                self._ranks_in_use += job.ranks
+                self._change_ranks_locked(job.ranks)
             threading.Thread(
                 target=self._run_job, args=(job,), name=f"serve-{job.id}", daemon=True
             ).start()
@@ -200,7 +268,7 @@ class JobScheduler:
                 job.error = f"{type(exc).__name__}: {exc}"
                 job.state = "failed"
                 job.finished_at = time.time()
-                self._ranks_in_use -= job.ranks
+                self._change_ranks_locked(-job.ranks)
                 self._executed += 1
                 self._cond.notify_all()
         else:
@@ -209,7 +277,7 @@ class JobScheduler:
                 job.result = result
                 job.state = "done"
                 job.finished_at = time.time()
-                self._ranks_in_use -= job.ranks
+                self._change_ranks_locked(-job.ranks)
                 self._executed += 1
                 self._cond.notify_all()
 
@@ -260,6 +328,9 @@ class JobScheduler:
             by_state: dict[str, int] = {}
             for job in self._jobs.values():
                 by_state[job.state] = by_state.get(job.state, 0) + 1
+            now = time.monotonic()
+            elapsed = max(now - self._util_started, 1e-9)
+            busy = self._busy_rank_seconds + (now - self._util_marked) * self._ranks_in_use
             counters = {
                 "jobs": len(self._jobs),
                 "by_state": by_state,
@@ -268,6 +339,23 @@ class JobScheduler:
                 "rank_budget": self.rank_budget,
                 "executed": self._executed,
                 "cache_hits": self._cache_hits,
+                "batches": self._batches,
+                "fairness": {
+                    "starvation_limit": self.starvation_limit,
+                    "pass_overs": self._pass_overs,
+                    "reservations": self._reservations,
+                    "max_queued_passed_over": max(
+                        (j.passed_over for j in self._queue), default=0
+                    ),
+                },
+                "utilization": {
+                    "ranks_in_use": self._ranks_in_use,
+                    "rank_budget": self.rank_budget,
+                    "instantaneous": self._ranks_in_use / self.rank_budget,
+                    "busy_rank_seconds": busy,
+                    "elapsed_s": elapsed,
+                    "average": busy / (elapsed * self.rank_budget),
+                },
             }
         counters["cache"] = self.cache.stats()
         counters["rank_pool"] = rank_pool_stats()

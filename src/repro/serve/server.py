@@ -10,6 +10,10 @@ GET    ``/stats``                  scheduler / cache / pool counters
 GET    ``/jobs``                   all jobs (status summaries)
 POST   ``/jobs``                   submit a job spec; 200 = cache hit,
                                    202 = queued, 400/429 = rejected
+POST   ``/jobs/batch``             submit a list of specs in one round trip;
+                                   always 200 with a per-spec outcome
+                                   ({job id | cached result | error}) —
+                                   one bad spec never fails the batch
 GET    ``/jobs/<id>``              one job's status
 GET    ``/jobs/<id>/result``       result payload (409 until terminal)
 GET    ``/jobs/<id>/trace``        Chrome-trace document (jobs with trace=true)
@@ -37,10 +41,14 @@ from repro import __version__
 from repro.serve.cache import ResultCache
 from repro.serve.scheduler import AdmissionError, JobScheduler
 from repro.serve.spec import JobSpec
+from repro.serve.store import ResultStore
 from repro.util.errors import ValidationError
 
 #: Largest request body accepted (job specs are small; this is a guardrail).
 MAX_BODY_BYTES = 4 * 1024 * 1024
+
+#: Most specs accepted in one ``POST /jobs/batch`` request.
+MAX_BATCH_JOBS = 4096
 
 
 class _ApiError(Exception):
@@ -114,6 +122,8 @@ class _Handler(BaseHTTPRequestHandler):
             )
         elif method == "POST" and parts == ["jobs"]:
             self._submit()
+        elif method == "POST" and parts == ["jobs", "batch"]:
+            self._submit_batch()
         elif len(parts) == 2 and parts[0] == "jobs" and method == "GET":
             self._send_json(self._job(parts[1]).describe())
         elif len(parts) == 3 and parts[0] == "jobs":
@@ -143,6 +153,43 @@ class _Handler(BaseHTTPRequestHandler):
             status = 429 if "queue is full" in str(exc) else 400
             raise _ApiError(status, str(exc)) from None
         self._send_json(job.describe(), status=200 if job.cached else 202)
+
+    def _submit_batch(self) -> None:
+        """One round trip admits a whole spec list, one outcome per spec.
+
+        The request body is ``{"jobs": [spec, ...]}`` (a bare JSON list is
+        accepted too).  The response is always 200 with ``{"jobs": [...]}``
+        where each entry is either a job status document (it may already be
+        ``done`` via the result cache/persistent store — check ``cached``)
+        or ``{"error": ...}`` for that spec alone; a malformed or
+        inadmissible spec never fails its batch-mates.
+        """
+        data = self._read_json()
+        if isinstance(data, dict):
+            data = data.get("jobs")
+        if not isinstance(data, list):
+            raise _ApiError(400, "batch body must be a JSON list or {'jobs': [...]}")
+        if len(data) > MAX_BATCH_JOBS:
+            raise _ApiError(
+                413, f"batch of {len(data)} specs exceeds the {MAX_BATCH_JOBS} cap"
+            )
+        entries: list[dict[str, Any]] = []
+        specs: list[tuple[int, JobSpec]] = []
+        for i, item in enumerate(data):
+            try:
+                specs.append((i, JobSpec.from_dict(item)))
+                entries.append({})  # placeholder, filled from the scheduler
+            except ValidationError as exc:
+                entries.append({"index": i, "error": f"bad job spec: {exc}"})
+        outcomes = self.scheduler.submit_many([spec for _, spec in specs])
+        for (i, _), outcome in zip(specs, outcomes):
+            if outcome["ok"]:
+                entry = outcome["job"].describe(with_spec=False)
+                entry["index"] = i
+                entries[i] = entry
+            else:
+                entries[i] = {"index": i, "error": outcome["error"]}
+        self._send_json({"jobs": entries})
 
     def _result(self, job_id: str) -> None:
         job = self._job(job_id)
@@ -203,11 +250,13 @@ class JobServer:
         max_queued: int = 1024,
         executor: Any = None,
         verbose: bool = False,
+        store_dir: Any = None,
     ) -> None:
+        store = None if store_dir is None else ResultStore(store_dir)
         self.scheduler = JobScheduler(
             executor,
             rank_budget=rank_budget,
-            cache=ResultCache(cache_size),
+            cache=ResultCache(cache_size, store=store),
             max_queued=max_queued,
         )
         self._http = _HTTPServer((host, port), _Handler)

@@ -1,0 +1,191 @@
+"""Persistent on-disk result store (content-addressed, atomic, versioned).
+
+The in-memory :class:`~repro.serve.cache.ResultCache` dies with the
+process; a campaign that sweeps hundreds of (app, preset, nodes, seed)
+points should not re-execute all of them because the server restarted.
+:class:`ResultStore` keeps each completed result payload as one JSON file
+keyed by the job's :meth:`~repro.serve.spec.JobSpec.content_hash`, so a
+repeated or extended campaign re-executes only the points it has never
+seen — across server restarts and across independent processes sharing
+the same directory.
+
+Durability rules:
+
+- **Atomic writes.**  Every ``put`` writes a uniquely-named temp file in
+  the entry's directory and ``os.replace``\\ s it into place.  Two server
+  processes racing on the same key each land a complete file; readers
+  never observe a torn write.
+- **Version-stamped schema.**  Entries are wrapped as
+  ``{"schema": N, "key": ..., "payload": ...}``.  A future schema bump
+  makes old entries *misses* (counted ``incompatible``), never crashes —
+  they stay on disk for the older code that understands them.
+- **Corruption is a miss, not an error.**  A truncated, unparseable or
+  mislabeled entry (e.g. a crashed writer pre-``os.replace`` semantics,
+  or bit rot) is skipped, counted, best-effort unlinked, and simply
+  re-executed and rewritten by the next campaign — a bad entry must never
+  take a campaign down.
+
+Layout: ``<root>/<hash[:2]>/<hash>.json`` (fan-out keeps directories
+small at paper-sweep scale).  The default root is ``$REPRO_STORE`` or
+``~/.cache/repro/results``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import threading
+from pathlib import Path
+from typing import Any, Iterator
+
+from repro.util.errors import ValidationError
+
+#: Entry wrapper schema understood by this code.  Bump on incompatible
+#: payload changes; old entries then read as ``incompatible`` misses.
+SCHEMA_VERSION = 1
+
+#: Environment variable overriding the default store root.
+STORE_ENV = "REPRO_STORE"
+
+
+def default_store_root() -> Path:
+    """``$REPRO_STORE`` if set, else ``~/.cache/repro/results``."""
+    env = os.environ.get(STORE_ENV)
+    if env:
+        return Path(env).expanduser()
+    return Path.home() / ".cache" / "repro" / "results"
+
+
+def _valid_key(key: str) -> bool:
+    """Keys are hex content hashes; anything else never touches the disk."""
+    return (
+        isinstance(key, str)
+        and 4 <= len(key) <= 128
+        and all(c in "0123456789abcdef" for c in key)
+    )
+
+
+class ResultStore:
+    """Directory of per-hash JSON result payloads with atomic writes."""
+
+    def __init__(self, root: str | Path | None = None) -> None:
+        self.root = Path(root).expanduser() if root is not None else default_store_root()
+        self._lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
+        self._writes = 0
+        self._corrupt_dropped = 0
+        self._incompatible = 0
+
+    # -- paths -------------------------------------------------------------
+    def path_for(self, key: str) -> Path:
+        if not _valid_key(key):
+            raise ValidationError(f"store keys are hex content hashes, got {key!r}")
+        return self.root / key[:2] / f"{key}.json"
+
+    # -- access ------------------------------------------------------------
+    def get(self, key: str) -> dict[str, Any] | None:
+        """The stored payload for ``key``, or ``None``.
+
+        Corrupt or truncated entries are dropped and read as misses;
+        entries written under a different :data:`SCHEMA_VERSION` are left
+        in place but rejected (``incompatible``).
+        """
+        path = self.path_for(key)
+        try:
+            raw = path.read_text(encoding="utf-8")
+        except (FileNotFoundError, OSError):
+            with self._lock:
+                self._misses += 1
+            return None
+        try:
+            doc = json.loads(raw)
+        except json.JSONDecodeError:
+            return self._drop_corrupt(path)
+        if not isinstance(doc, dict) or "schema" not in doc:
+            return self._drop_corrupt(path)
+        if doc.get("schema") != SCHEMA_VERSION:
+            with self._lock:
+                self._incompatible += 1
+                self._misses += 1
+            return None
+        if doc.get("key") != key or not isinstance(doc.get("payload"), dict):
+            return self._drop_corrupt(path)
+        with self._lock:
+            self._hits += 1
+        return doc["payload"]
+
+    def _drop_corrupt(self, path: Path) -> None:
+        """Count and best-effort remove a damaged entry; report a miss."""
+        with self._lock:
+            self._corrupt_dropped += 1
+            self._misses += 1
+        try:
+            path.unlink()
+        except OSError:
+            pass
+        return None
+
+    def put(self, key: str, payload: dict[str, Any]) -> None:
+        """Atomically persist ``payload`` under ``key`` (last writer wins)."""
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        doc = {"schema": SCHEMA_VERSION, "key": key, "payload": payload}
+        body = json.dumps(doc, separators=(",", ":"))
+        # A unique temp file per writer + os.replace = no torn entries even
+        # with two server processes completing the same spec concurrently.
+        fd, tmp = tempfile.mkstemp(
+            prefix=f".{key[:8]}-", suffix=".tmp", dir=path.parent
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                fh.write(body)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        with self._lock:
+            self._writes += 1
+
+    def __contains__(self, key: str) -> bool:
+        return self.path_for(key).is_file()
+
+    def keys(self) -> Iterator[str]:
+        """All entry hashes currently on disk (no validation)."""
+        if not self.root.is_dir():
+            return
+        for sub in sorted(self.root.iterdir()):
+            if not sub.is_dir():
+                continue
+            for path in sorted(sub.glob("*.json")):
+                yield path.stem
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.keys())
+
+    def clear(self) -> int:
+        """Delete every entry; returns how many were removed (test hook)."""
+        removed = 0
+        for key in list(self.keys()):
+            try:
+                self.path_for(key).unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed
+
+    def stats(self) -> dict[str, Any]:
+        with self._lock:
+            return {
+                "root": str(self.root),
+                "schema": SCHEMA_VERSION,
+                "hits": self._hits,
+                "misses": self._misses,
+                "writes": self._writes,
+                "corrupt_dropped": self._corrupt_dropped,
+                "incompatible": self._incompatible,
+            }

@@ -1,0 +1,90 @@
+"""`repro campaign ...` and `repro submit --batch` end to end."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.serve import JobServer
+
+CAMPAIGN_DOC = {
+    "name": "cli",
+    "axes": {
+        "app": ["heat3d"],
+        "preset": "laptop",
+        "mix": "cpu",
+        "nodes": [1, 2],
+        "seed": [0],
+    },
+    "app_params": {"heat3d": {"functional_shape": [8, 8, 8], "simulated_steps": 2}},
+    "backend": None,
+}
+
+
+@pytest.fixture
+def campaign_file(tmp_path):
+    path = tmp_path / "campaign.json"
+    path.write_text(json.dumps(CAMPAIGN_DOC), encoding="utf-8")
+    return path
+
+
+def test_campaign_run_status_report(capsys, tmp_path, campaign_file):
+    store = tmp_path / "store"
+    out_doc = tmp_path / "run.json"
+
+    assert main(["campaign", "status", str(campaign_file), "--store", str(store)]) == 0
+    out = capsys.readouterr().out
+    assert "2 point(s), 0 stored, 2 to run" in out
+
+    args = ["campaign", "run", str(campaign_file), "--store", str(store),
+            "--out", str(out_doc)]
+    assert main(args) == 0
+    out = capsys.readouterr().out
+    assert "executed=2" in out and "| app" in out
+
+    doc = json.loads(out_doc.read_text())
+    assert doc["campaign"] == "cli" and len(doc["rows"]) == 2
+    assert all(r["state"] == "done" for r in doc["rows"])
+
+    # warm re-run: the store answers everything
+    assert main(args) == 0
+    assert "executed=0" in capsys.readouterr().out
+
+    assert main(["campaign", "status", str(campaign_file), "--store", str(store)]) == 0
+    assert "0 to run" in capsys.readouterr().out
+
+    assert main(["campaign", "report", str(out_doc)]) == 0
+    out = capsys.readouterr().out
+    assert "mean speedup" in out and "campaign 'cli'" in out
+
+
+def test_campaign_run_store_none(capsys, tmp_path, campaign_file):
+    assert main(["campaign", "run", str(campaign_file), "--store", "none"]) == 0
+    assert "executed=2" in capsys.readouterr().out
+
+
+def test_campaign_rejects_bad_spec(tmp_path):
+    bad = tmp_path / "bad.json"
+    bad.write_text(json.dumps({"name": "x", "axes": {"nope": [1]}}), encoding="utf-8")
+    with pytest.raises(SystemExit, match="invalid campaign"):
+        main(["campaign", "run", str(bad), "--store", "none"])
+
+
+def test_submit_batch_cli(capsys, tmp_path, monkeypatch):
+    batch = tmp_path / "jobs.json"
+    spec = {"app": "heat3d", "nodes": 2, "mix": "cpu", "preset": "laptop",
+            "params": {"functional_shape": [8, 8, 8], "simulated_steps": 2}}
+    batch.write_text(json.dumps([spec, {"app": "bogus"}]), encoding="utf-8")
+    with JobServer(port=0, rank_budget=8) as server:
+        monkeypatch.setenv("REPRO_SERVE_URL", server.url)
+        assert main(["submit", "--batch", str(batch)]) == 0
+    out = capsys.readouterr().out
+    assert "1 accepted, 1 rejected" in out
+    assert "bad job spec" in out and "1 done" in out
+
+
+def test_submit_batch_flag_conflicts(tmp_path):
+    with pytest.raises(SystemExit, match="not both"):
+        main(["submit", "heat3d", "--batch", str(tmp_path / "x.json")])
+    with pytest.raises(SystemExit, match="needs an app"):
+        main(["submit"])

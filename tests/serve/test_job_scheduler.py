@@ -217,3 +217,94 @@ def test_constructor_validation():
         JobScheduler(lambda spec: {}, rank_budget=0)
     with pytest.raises(ValidationError):
         JobScheduler(lambda spec: {}, max_queued=-1)
+
+
+# ------------------------------------------------- fairness (anti-starvation)
+def test_wide_job_not_starved_by_small_stream():
+    """Aging regression: a wide high-priority job must not starve forever
+    behind a stream of small jobs that backfill can always fit.
+
+    With the pre-aging dispatcher this test fails: every time a rank pair
+    frees, another small job fits and the 4-rank job waits until the small
+    queue is completely dry.
+    """
+    executor = GatedExecutor()
+    scheduler = JobScheduler(
+        executor, rank_budget=4, cache=ResultCache(8), starvation_limit=2
+    )
+    try:
+        executor.expect(0, 10, 1, 2, 3)
+        blocker = scheduler.submit(_spec(0))  # 2 ranks running
+        executor.started[0].wait(5.0)
+        wide = scheduler.submit(_spec(10, nodes=4, priority=5))  # whole budget
+        smalls = [scheduler.submit(_spec(seed)) for seed in (1, 2, 3)]
+        # 2 ranks free -> wide can't fit -> s1 backfills (pass-over #1)
+        executor.started[1].wait(5.0)
+        executor.release[0].set()
+        scheduler.wait(blocker.id, timeout=10.0)
+        # blocker done -> 2 free again -> s2 backfills (pass-over #2)
+        executor.started[2].wait(5.0)
+        executor.release[1].set()
+        scheduler.wait(smalls[0].id, timeout=10.0)
+        # s1 done -> 2 free, but wide has hit the starvation limit: the
+        # budget drains for it instead of dispatching s3.
+        time.sleep(0.05)
+        assert not executor.started[3].is_set(), (
+            "small job jumped a starving wide job beyond the aging limit"
+        )
+        assert scheduler.get(wide.id).state == "queued"
+        executor.release[2].set()
+        scheduler.wait(smalls[1].id, timeout=10.0)
+        # full budget free -> the wide job finally dispatches, ahead of s3
+        executor.started[10].wait(5.0)
+        assert not executor.started[3].is_set()
+        stats = scheduler.stats()["fairness"]
+        assert stats["pass_overs"] >= 2 and stats["reservations"] >= 1
+        executor.release[10].set()
+        scheduler.wait(wide.id, timeout=10.0)
+        executor.started[3].wait(5.0)
+        executor.release[3].set()
+        scheduler.wait(smalls[2].id, timeout=10.0)
+    finally:
+        for event in executor.release.values():
+            event.set()
+        scheduler.shutdown()
+
+
+def test_starvation_limit_validation():
+    with pytest.raises(ValidationError):
+        JobScheduler(lambda spec: {}, starvation_limit=0)
+
+
+# ------------------------------------------------------------- batched submit
+def test_submit_many_mixed_outcomes(gated):
+    executor, scheduler = gated
+    executor.expect(1, 2)
+    for seed in (1, 2):
+        executor.release[seed].set()
+    outcomes = scheduler.submit_many(
+        [_spec(1), _spec(2, nodes=5), _spec(2)]  # nodes=5 > rank budget 4
+    )
+    assert [o["ok"] for o in outcomes] == [True, False, True]
+    assert "never be scheduled" in outcomes[1]["error"]
+    for outcome in (outcomes[0], outcomes[2]):
+        done = scheduler.wait(outcome["job"].id, timeout=10.0)
+        assert done.state == "done"
+    assert scheduler.stats()["batches"] == 1
+
+
+def test_stats_utilization_gauges(gated):
+    executor, scheduler = gated
+    executor.expect(1)
+    job = scheduler.submit(_spec(1))  # 2 of 4 ranks
+    executor.started[1].wait(5.0)
+    time.sleep(0.03)  # accrue some busy rank-seconds
+    util = scheduler.stats()["utilization"]
+    assert util["ranks_in_use"] == 2 and util["rank_budget"] == 4
+    assert util["instantaneous"] == pytest.approx(0.5)
+    executor.release[1].set()
+    scheduler.wait(job.id, timeout=10.0)
+    util = scheduler.stats()["utilization"]
+    assert util["ranks_in_use"] == 0
+    assert util["busy_rank_seconds"] > 0.0
+    assert 0.0 < util["average"] <= 1.0

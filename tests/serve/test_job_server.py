@@ -250,3 +250,71 @@ def test_faulty_checkpointed_job_matches_direct_run():
         assert repr(result["makespan"]) == repr(expected["makespan"])
         assert result["fault_stats"] == expected["fault_stats"]
         assert result["metrics"]["recoveries"] == 1
+
+
+# ------------------------------------------------------------- batched submit
+def test_batch_submit_mixed_outcomes(gated_server):
+    """One POST /jobs/batch: good specs admit, bad specs error per-entry."""
+    client, executor = gated_server
+    executor.release.set()
+    entries = client.submit_many(
+        [
+            _spec(1).to_dict(),
+            {"app": "no-such-app", "nodes": 2},          # invalid spec
+            _spec(2, nodes=40).to_dict(),                # over the rank budget
+            _spec(3).to_dict(),
+        ]
+    )
+    assert len(entries) == 4
+    assert [e["index"] for e in entries] == [0, 1, 2, 3]
+    assert entries[0]["error"] is None and entries[3]["error"] is None
+    assert "id" not in entries[1] and "bad job spec" in entries[1]["error"]
+    assert "never be scheduled" in entries[2]["error"]
+    done = client.wait_many([entries[0]["id"], entries[3]["id"]], timeout=10.0)
+    assert all(s["state"] == "done" for s in done.values())
+    assert client.stats()["batches"] == 1
+
+
+def test_batch_submit_body_shapes(gated_server):
+    client, executor = gated_server
+    executor.release.set()
+    # a bare JSON list works too
+    entries = client._request("POST", "/jobs/batch", [_spec(7).to_dict()])["jobs"]
+    assert entries[0]["state"] in ("queued", "running", "done")
+    with pytest.raises(ServeError) as err:
+        client._request("POST", "/jobs/batch", {"jobs": "nope"})
+    assert err.value.status == 400
+
+
+def test_batch_cache_hits_complete_at_submission(gated_server):
+    client, executor = gated_server
+    executor.release.set()
+    first = client.submit(_spec(5))
+    client.wait(first["id"], timeout=10.0)
+    entries = client.submit_many([_spec(5).to_dict()])
+    assert entries[0]["state"] == "done" and entries[0]["cached"] is True
+
+
+# ------------------------------------------------------- persistent store
+def test_server_store_survives_restart(tmp_path):
+    """A fresh server over the same store answers without executing."""
+    calls = []
+
+    def executor(spec):
+        calls.append(spec.params.get("seed"))
+        return {"makespan": 1.0}
+
+    spec = _spec(0)
+    with JobServer(port=0, executor=executor, store_dir=tmp_path) as server:
+        client = ServeClient(server.url)
+        job = client.submit(spec)
+        client.wait(job["id"], timeout=10.0)
+    assert calls == [0]
+    with JobServer(port=0, executor=executor, store_dir=tmp_path) as server:
+        client = ServeClient(server.url)
+        job = client.submit(spec)  # cold LRU, warm disk
+        assert job["state"] == "done" and job["cached"] is True
+        assert calls == [0]  # no second execution
+        stats = client.stats()["cache"]
+        assert stats["store_hits"] == 1
+        assert stats["store"]["root"] == str(tmp_path)

@@ -1,0 +1,156 @@
+"""The persistent result store: atomicity, corruption, schema versioning.
+
+The store is the durable tier under the LRU — these tests poke exactly
+the ways a shared on-disk cache goes wrong: truncated/corrupt entries,
+concurrent writers racing on one key, schema drift between versions, and
+stale temp files.
+"""
+
+import json
+import os
+import threading
+
+import pytest
+
+from repro.serve.cache import ResultCache
+from repro.serve.store import SCHEMA_VERSION, ResultStore, default_store_root
+from repro.util.errors import ValidationError
+
+KEY = "ab" * 32  # a plausible sha256 hex digest
+KEY2 = "cd" * 32
+
+
+@pytest.fixture
+def store(tmp_path):
+    return ResultStore(tmp_path / "results")
+
+
+def test_roundtrip_and_layout(store):
+    payload = {"makespan": 1.5, "metrics": {"iters": 3}}
+    store.put(KEY, payload)
+    assert store.get(KEY) == payload
+    assert KEY in store and len(store) == 1
+    # fan-out layout: results/<first 2 hex chars>/<key>.json
+    path = store.path_for(KEY)
+    assert path.parent.name == KEY[:2] and path.name == f"{KEY}.json"
+    on_disk = json.loads(path.read_text())
+    assert on_disk["schema"] == SCHEMA_VERSION and on_disk["key"] == KEY
+
+
+def test_get_missing_is_a_miss(store):
+    assert store.get(KEY) is None
+    assert store.stats()["misses"] == 1 and store.stats()["hits"] == 0
+
+
+def test_bad_keys_rejected(store):
+    for bad in ("", "xyz", "ABC/..", "../../" + "a" * 60, "g" * 64):
+        with pytest.raises(ValidationError):
+            store.put(bad, {})
+        with pytest.raises(ValidationError):
+            store.get(bad)
+
+
+def test_corrupt_entry_skipped_and_rewritten(store):
+    store.put(KEY, {"makespan": 1.0})
+    store.path_for(KEY).write_text("{not json", encoding="utf-8")
+    assert store.get(KEY) is None  # miss, not a crash
+    assert store.stats()["corrupt_dropped"] == 1
+    assert not store.path_for(KEY).exists()  # dropped so a re-run rewrites it
+    store.put(KEY, {"makespan": 2.0})
+    assert store.get(KEY) == {"makespan": 2.0}
+
+
+def test_truncated_entry_skipped(store):
+    store.put(KEY, {"makespan": 1.0, "metrics": {"a": 1}})
+    path = store.path_for(KEY)
+    raw = path.read_text()
+    path.write_text(raw[: len(raw) // 2], encoding="utf-8")
+    assert store.get(KEY) is None
+    assert store.stats()["corrupt_dropped"] == 1
+
+
+def test_wrong_key_entry_dropped(store):
+    store.put(KEY, {"makespan": 1.0})
+    body = json.loads(store.path_for(KEY).read_text())
+    body["key"] = KEY2  # entry claims to be someone else's result
+    store.path_for(KEY).write_text(json.dumps(body), encoding="utf-8")
+    assert store.get(KEY) is None
+    assert store.stats()["corrupt_dropped"] == 1
+
+
+def test_incompatible_schema_is_miss_but_kept(store):
+    store.put(KEY, {"makespan": 1.0})
+    body = json.loads(store.path_for(KEY).read_text())
+    body["schema"] = SCHEMA_VERSION + 1  # written by a newer repro
+    store.path_for(KEY).write_text(json.dumps(body), encoding="utf-8")
+    assert store.get(KEY) is None
+    stats = store.stats()
+    assert stats["incompatible"] == 1 and stats["corrupt_dropped"] == 0
+    assert store.path_for(KEY).exists()  # never destroy a newer version's data
+
+
+def test_concurrent_writers_leave_one_valid_entry(store):
+    """N threads racing one key: last atomic replace wins, file never torn."""
+    errors: list[Exception] = []
+
+    def write(i: int) -> None:
+        try:
+            store.put(KEY, {"makespan": float(i), "blob": "x" * 4096})
+        except Exception as exc:  # noqa: BLE001 - collected for the assert
+            errors.append(exc)
+
+    threads = [threading.Thread(target=write, args=(i,)) for i in range(16)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert not errors
+    got = store.get(KEY)
+    assert got is not None and got["blob"] == "x" * 4096  # intact, some winner
+    assert store.stats()["corrupt_dropped"] == 0
+    # atomic tempfile+rename leaves no droppings behind
+    leftovers = [p for p in store.path_for(KEY).parent.iterdir() if p.suffix == ".tmp"]
+    assert leftovers == []
+
+
+def test_keys_len_clear(store):
+    store.put(KEY, {"a": 1})
+    store.put(KEY2, {"b": 2})
+    assert sorted(store.keys()) == sorted([KEY, KEY2])
+    store.clear()
+    assert len(store) == 0 and store.get(KEY) is None
+
+
+def test_default_store_root_env(monkeypatch, tmp_path):
+    monkeypatch.setenv("REPRO_STORE", str(tmp_path / "envstore"))
+    assert default_store_root() == tmp_path / "envstore"
+    monkeypatch.delenv("REPRO_STORE")
+    assert default_store_root().name == "results"
+
+
+# ------------------------------------------------- cache+store layering
+def test_cache_miss_falls_through_to_store(tmp_path):
+    store = ResultStore(tmp_path)
+    warm = ResultCache(4, store=store)
+    warm.put(KEY, {"makespan": 9.0})
+    cold = ResultCache(4, store=store)  # fresh LRU, same disk
+    assert cold.get(KEY) == {"makespan": 9.0}
+    stats = cold.stats()
+    assert stats["store_hits"] == 1
+    assert cold.get(KEY) == {"makespan": 9.0}  # promoted: now a memory hit
+    assert cold.stats()["store_hits"] == 1 and cold.stats()["hits"] >= 1
+
+
+def test_cache_clear_keeps_store(tmp_path):
+    cache = ResultCache(4, store=ResultStore(tmp_path))
+    cache.put(KEY, {"makespan": 1.0})
+    cache.clear()
+    assert cache.get(KEY) == {"makespan": 1.0}  # served from disk
+
+
+def test_cache_eviction_does_not_erase_store(tmp_path):
+    store = ResultStore(tmp_path)
+    cache = ResultCache(1, store=store)
+    cache.put(KEY, {"a": 1})
+    cache.put(KEY2, {"b": 2})  # evicts KEY from memory
+    assert cache.get(KEY) == {"a": 1}  # disk still has it
